@@ -1,0 +1,103 @@
+"""E-3.6 — Figures 3.5-3.7: the directed-edge ablation.
+
+"In the first versions of the RSG this problem caused the final layout
+to depend on how the graph was actually traversed."  We quantify the
+design decision: over all 8 orientations and a sweep of interface
+vectors, how many same-celltype interfaces are *direction sensitive*
+(I_aa != I_aa^-1, so an undirected edge is ambiguous), and we measure
+that the directed expansion is traversal-order invariant while the
+undirected interpretation is not.
+"""
+
+from repro.core import (
+    CellDefinition,
+    Interface,
+    InterfaceTable,
+    Node,
+    expand_graph,
+)
+from repro.geometry import ALL_ORIENTATIONS, Vec2
+
+
+def _cell():
+    cell = CellDefinition("a")
+    cell.add_box("m", 0, 0, 4, 4)
+    return cell
+
+
+def _impl_direction_sensitivity_census(report):
+    total = 0
+    sensitive = 0
+    for orientation in ALL_ORIENTATIONS:
+        for x in range(-3, 4):
+            for y in range(-3, 4):
+                interface = Interface(Vec2(x, y), orientation)
+                total += 1
+                if not interface.is_self_inverse():
+                    sensitive += 1
+    report(
+        "E-3.6 same-celltype interface census"
+        f" (8 orientations x 49 vectors = {total}):",
+        f"  direction sensitive (I != I^-1): {sensitive}"
+        f" ({100 * sensitive / total:.1f}%)",
+        f"  self-inverse (safe undirected) : {total - sensitive}",
+        "  -> undirected edges are wrong for the overwhelming majority of",
+        "     same-celltype interfaces; the direction bit is load-bearing.",
+    )
+    assert sensitive > total * 0.8
+
+
+def _impl_undirected_interpretation_diverges(report):
+    """Expanding 'along' versus 'against' an edge with the two choices
+    an undirected implementation could make yields different layouts."""
+    table = InterfaceTable()
+    interface = Interface(Vec2(10, 0), ALL_ORIENTATIONS[3])  # EAST
+    table.declare("a", "a", 1, interface)
+    cell = _cell()
+
+    forward_src, forward_dst = Node(cell), Node(cell)
+    forward_src.connect(forward_dst, 1)
+    expand_graph(forward_src, table)
+    forward = (forward_dst.instance.location, forward_dst.instance.orientation)
+
+    # The 'wrong guess' an undirected implementation could make:
+    # treating the other endpoint as the reference instance.
+    backward_src, backward_dst = Node(cell), Node(cell)
+    backward_dst.connect(backward_src, 1)
+    expand_graph(backward_src, table)
+    backward = (backward_dst.instance.location, backward_dst.instance.orientation)
+
+    report(
+        "E-3.6 Figure 3.6 divergence for I_aa = ((10,0), East):",
+        f"  reference-first expansion : place at {forward[0]}, {forward[1].name}",
+        f"  reversed interpretation   : place at {backward[0]}, {backward[1].name}",
+        "  -> non-equivalent layouts; the directed edge selects the first.",
+    )
+    assert forward != backward
+
+
+def test_direction_sensitivity_census(benchmark, report):
+    benchmark.pedantic(
+        lambda: _impl_direction_sensitivity_census(report), rounds=1, iterations=1
+    )
+
+
+def test_undirected_interpretation_diverges(benchmark, report):
+    benchmark.pedantic(
+        lambda: _impl_undirected_interpretation_diverges(report),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_directed_expansion_cost(benchmark):
+    """Expansion cost of a long same-celltype chain (the common case the
+    direction machinery must not slow down)."""
+    table = InterfaceTable()
+    table.declare("a", "a", 1, Interface(Vec2(6, 0), ALL_ORIENTATIONS[0]))
+    cell = _cell()
+    nodes = [Node(cell) for _ in range(500)]
+    for left, right in zip(nodes, nodes[1:]):
+        left.connect(right, 1)
+
+    benchmark(lambda: expand_graph(nodes[250], table))

@@ -1,0 +1,32 @@
+"""E-T1 — section 4.5: "A 32x32 Baugh-Wooley multiplier ... is generated
+in 5 seconds on a DEC-2060."
+
+We reproduce the scaling shape: generation time versus multiplier size.
+Absolute numbers differ (Python on modern hardware vs CLU on a DEC-20);
+the claim that survives is near-linear growth in cell count and an
+interactive-scale 32x32 time.
+"""
+
+import pytest
+
+from repro.multiplier import generate_multiplier, load_multiplier_library, report_for
+
+
+@pytest.mark.parametrize("size", [8, 16, 32, 64])
+def test_generation_scaling(benchmark, size, report):
+    def run():
+        return generate_multiplier(size, size)
+
+    top = benchmark(run)
+    stats = benchmark.stats.stats
+    report(
+        f"E-T1 {size}x{size}: mean {stats.mean * 1e3:.1f} ms"
+        f" ({size * (size + 1)} basic cells)"
+        + ("   [paper: 5 s on a DEC-2060]" if size == 32 else "")
+    )
+    assert top.name == "thewholething"
+
+
+def test_library_load(benchmark):
+    """Reading the sample layout (phase 1 of the paper's three phases)."""
+    benchmark(load_multiplier_library)

@@ -1,0 +1,78 @@
+"""E-3.2 — Figures 3.2/3.3: spanning-tree expansion.
+
+Shows (a) expansion cost scales linearly with graph size, and (b) the
+spanning tree property: an n-node cluster expands with only n-1
+interfaces loaded, so interfaces absent from the sample are never
+accessed (Figure 3.3's argument).
+"""
+
+import pytest
+
+from repro.core import Interface, InterfaceTable, Node, Rsg, expand_graph
+from repro.geometry import NORTH, Vec2
+
+
+def build_grid_graph(rsg, rows, columns):
+    nodes = [[rsg.mk_instance("tile") for _ in range(columns)] for _ in range(rows)]
+    for row in nodes:
+        rsg.chain(row, 1)
+    for upper, lower in zip(nodes, nodes[1:]):
+        rsg.connect(upper[0], lower[0], 2)
+    return nodes[0][0]
+
+
+@pytest.fixture
+def rsg():
+    workspace = Rsg()
+    tile = workspace.define_cell("tile")
+    tile.add_box("metal", 0, 0, 8, 8)
+    workspace.interface_by_example(
+        "tile", Vec2(0, 0), NORTH, "tile", Vec2(10, 0), NORTH, index=1
+    )
+    workspace.interface_by_example(
+        "tile", Vec2(0, 0), NORTH, "tile", Vec2(0, -10), NORTH, index=2
+    )
+    return workspace
+
+
+@pytest.mark.parametrize("side", [8, 16, 32])
+def test_grid_expansion(benchmark, rsg, side, report):
+    root = build_grid_graph(rsg, side, side)
+
+    def run():
+        return expand_graph(root, rsg.interfaces)
+
+    order = benchmark(run)
+    report(
+        f"E-3.2 grid {side}x{side}: {len(order)} instances placed from"
+        f" a spanning tree of {side * side - 1} edges,"
+        f" 2 interfaces in the table"
+    )
+    assert len(order) == side * side
+
+
+def _impl_spanning_tree_needs_no_extra_interfaces(rsg, report):
+    """A 4-cell cluster (Figure 3.3) with only 3 interfaces loaded."""
+    table = InterfaceTable()
+    cells = {}
+    for name in "abcd":
+        cells[name] = rsg.define_cell(name)
+        cells[name].add_box("m", 0, 0, 4, 4)
+    table.declare("a", "b", 1, Interface(Vec2(6, 0), NORTH))
+    table.declare("b", "c", 1, Interface(Vec2(0, -6), NORTH))
+    table.declare("c", "d", 1, Interface(Vec2(-6, 0), NORTH))
+    na, nb, nc, nd = (Node(cells[n]) for n in "abcd")
+    na.connect(nb, 1)
+    nb.connect(nc, 1)
+    nc.connect(nd, 1)
+    expand_graph(na, table)
+    report(
+        "E-3.2 Figure 3.3: a/b/c/d cluster expanded with 3 interfaces;",
+        "I_ad, I_ac, I_bd never accessed (not present in the table).",
+        f"placements: d at {nd.instance.location}",
+    )
+    assert nd.instance.location == Vec2(0, -6)
+
+
+def test_spanning_tree_needs_no_extra_interfaces(benchmark, rsg, report):
+    benchmark.pedantic(lambda: _impl_spanning_tree_needs_no_extra_interfaces(rsg, report), rounds=1, iterations=1)

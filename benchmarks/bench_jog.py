@@ -1,0 +1,76 @@
+"""E-6.8 — Figure 6.8: the Bellman-Ford jog pathology.
+
+"While Bellman-Ford does a good job of minimizing the total size it can
+generate electrically poor layouts ... the resulting layout develops a
+jog in it.  A more appropriate algorithm would be one that tries to
+bring all objects close together as if they were all connected by
+rubber bands."  We measure the jog (total misalignment of connected
+boxes) after the greedy pass and after the rubber-band LP, at equal
+bounding-box width.
+"""
+
+import pytest
+
+from repro.compact import TECH_A, compact_layout
+from repro.geometry import Box
+from repro.layout.database import FlatLayout
+
+
+def jog_layout(segments=4):
+    """A vertical wire of `segments` aligned boxes; an obstacle pushes
+    only the bottom segment rightward during compaction."""
+    flat = FlatLayout("jog")
+    for k in range(segments):
+        flat.add("metal1", Box(10, k * 10, 13, (k + 1) * 10))
+    flat.add("metal1", Box(0, 0, 3, 10))  # obstacle beside segment 0
+    return flat
+
+
+@pytest.mark.parametrize("segments", [2, 4, 8])
+def test_greedy_jog(benchmark, segments, report):
+    layout = jog_layout(segments)
+
+    def run():
+        return compact_layout(layout, TECH_A, rubber_band=False)
+
+    result = benchmark(run)
+    report(
+        f"E-6.8 {segments} segments, greedy      : jog {result.jog_before:3d},"
+        f" width {result.width_after}"
+    )
+    assert result.jog_before > 0
+
+
+@pytest.mark.parametrize("segments", [2, 4, 8])
+def test_rubber_band(benchmark, segments, report):
+    layout = jog_layout(segments)
+
+    def run():
+        return compact_layout(layout, TECH_A, rubber_band=True)
+
+    result = benchmark(run)
+    report(
+        f"E-6.8 {segments} segments, rubber band : jog {result.jog_after:3d},"
+        f" width {result.width_after}"
+    )
+    assert result.jog_after == 0
+
+
+def _impl_summary_table(report):
+    rows = [
+        "E-6.8 jog (total connected-pair misalignment) at equal width:",
+        f"{'segments':>9} {'greedy jog':>11} {'rubber jog':>11} {'width':>6}",
+    ]
+    for segments in (2, 4, 8):
+        greedy = compact_layout(jog_layout(segments), TECH_A, rubber_band=False)
+        smooth = compact_layout(jog_layout(segments), TECH_A, rubber_band=True)
+        assert smooth.width_after == greedy.width_after
+        rows.append(
+            f"{segments:>9} {greedy.jog_before:>11} {smooth.jog_after:>11}"
+            f" {smooth.width_after:>6}"
+        )
+    report(*rows)
+
+
+def test_summary_table(benchmark, report):
+    benchmark.pedantic(lambda: _impl_summary_table(report), rounds=1, iterations=1)

@@ -1,0 +1,116 @@
+"""E-LC — section 6.1: leaf-cell versus flat compaction cost.
+
+"If a cell A appears a hundred times in a layout, a compactor operating
+on the final layout would be more computationally expensive than one
+which cleverly compacts the cell A only once ... these two factors can
+lead to orders of magnitude improvements."  We compact a replicated row
+both ways and report constraint counts, unknown counts, and wall time
+versus the replication factor: flat cost grows with n, leaf-cell cost is
+constant.
+"""
+
+import time
+
+import pytest
+
+from repro.compact import (
+    LeafCellCompactor,
+    PitchCost,
+    TECH_A,
+    compact_layout,
+)
+from repro.core import Rsg
+from repro.geometry import NORTH, Vec2
+from repro.layout.database import FlatLayout
+
+
+def make_workspace():
+    rsg = Rsg()
+    cell = rsg.define_cell("A")
+    cell.add_box("diff", 0, 0, 2, 10)
+    cell.add_box("diff", 8, 0, 10, 10)
+    cell.add_box("metal1", 0, 14, 10, 17)
+    rsg.interface_by_example("A", Vec2(0, 0), NORTH, "A", Vec2(16, 0), NORTH, 1)
+    return rsg
+
+
+def flat_row_layout(n, pitch=16):
+    rsg = make_workspace()
+    cell = rsg.cells.lookup("A")
+    flat = FlatLayout(f"row{n}")
+    for k in range(n):
+        for layer_box in cell.boxes:
+            flat.add(layer_box.layer, layer_box.box.translated(Vec2(k * pitch, 0)))
+    return flat
+
+
+def leaf_compact():
+    rsg = make_workspace()
+    compactor = LeafCellCompactor(rsg, TECH_A, width_mode="preserve")
+    compactor.add_cell("A")
+    lam = compactor.add_interface("A", "A", 1)
+    result = compactor.solve(PitchCost(weights={lam: 10.0}))
+    return compactor, result
+
+
+@pytest.mark.parametrize("n", [10, 50, 100])
+def test_flat_compaction(benchmark, n, report):
+    layout = flat_row_layout(n)
+
+    def run():
+        return compact_layout(layout, TECH_A, width_mode="preserve")
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    report(
+        f"E-LC flat, n={n:4d}: {result.constraint_count:6d} constraints,"
+        f" width {result.width_after}"
+    )
+
+
+def test_leaf_cell_compaction(benchmark, report):
+    def run():
+        return leaf_compact()
+
+    compactor, result = benchmark.pedantic(run, rounds=3, iterations=1)
+    report(
+        f"E-LC leaf-cell (any n): {result.constraint_count:6d} constraints,"
+        f" {result.variable_count} unknowns, pitch"
+        f" {list(result.pitches.values())[0]}"
+    )
+
+
+def _impl_cost_vs_replication_table(report):
+    rows = [
+        "E-LC compaction effort versus replication factor"
+        " (paper: 'orders of magnitude'):",
+        f"{'n':>5} {'flat constraints':>17} {'flat ms':>9}"
+        f" {'leaf constraints':>17} {'leaf ms':>9}",
+    ]
+    compactor = None
+    for n in (10, 50, 100):
+        layout = flat_row_layout(n)
+        t0 = time.perf_counter()
+        flat_result = compact_layout(layout, TECH_A, width_mode="preserve")
+        flat_ms = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        compactor, leaf_result = leaf_compact()
+        leaf_ms = (time.perf_counter() - t0) * 1e3
+        rows.append(
+            f"{n:>5} {flat_result.constraint_count:>17} {flat_ms:>9.2f}"
+            f" {leaf_result.constraint_count:>17} {leaf_ms:>9.2f}"
+        )
+    report(*rows)
+
+    # The leaf-cell constraint count is replication independent; flat
+    # grows superlinearly.
+    small = compact_layout(flat_row_layout(10), TECH_A, width_mode="preserve")
+    large = compact_layout(flat_row_layout(100), TECH_A, width_mode="preserve")
+    assert large.constraint_count > 5 * small.constraint_count
+
+    # And the leaf-cell result is legal at every replication factor.
+    _, leaf_result = leaf_compact()
+    assert compactor.verify(leaf_result) == []
+
+
+def test_cost_vs_replication_table(benchmark, report):
+    benchmark.pedantic(lambda: _impl_cost_vs_replication_table(report), rounds=1, iterations=1)

@@ -1,0 +1,63 @@
+"""E-5.1 — Figure 5.1: the combinational Baugh-Wooley multiplier.
+
+The paper's correctness artifact is the array structure itself (adder
+schematic in Appendix D).  We regenerate it: exhaustive verification for
+small widths, random for 8x8/12x12, and the evaluation throughput.
+"""
+
+import random
+
+import pytest
+
+from repro.multiplier import build_baugh_wooley, multiply, reference_product
+
+
+@pytest.mark.parametrize("m,n", [(4, 4), (6, 6)])
+def test_exhaustive_verification(benchmark, m, n, report):
+    net = build_baugh_wooley(m, n)
+
+    def run():
+        errors = 0
+        for a in range(-(1 << (m - 1)), 1 << (m - 1)):
+            for b in range(-(1 << (n - 1)), 1 << (n - 1)):
+                if multiply(net, a, b, m, n) != reference_product(a, b, m, n):
+                    errors += 1
+        return errors
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        f"E-5.1 {m}x{n}: exhaustive {1 << (m + n)} products, {errors} errors"
+    )
+    assert errors == 0
+
+
+def test_random_16x16(benchmark, report):
+    net = build_baugh_wooley(16, 16)
+    rng = random.Random(7)
+    pairs = [
+        (rng.randrange(-32768, 32768), rng.randrange(-32768, 32768))
+        for _ in range(64)
+    ]
+
+    def run():
+        errors = 0
+        for a, b in pairs:
+            if multiply(net, a, b, 16, 16) != reference_product(a, b, 16, 16):
+                errors += 1
+        return errors
+
+    errors = benchmark(run)
+    report(f"E-5.1 16x16: {len(pairs)} random products per round, {errors} errors")
+    assert errors == 0
+
+
+def test_evaluation_cost_scaling(benchmark, report):
+    """One product evaluation on a 32x32 array: the cell count grows
+    quadratically; evaluation is linear in cells."""
+    net = build_baugh_wooley(32, 32)
+
+    def run():
+        return multiply(net, -2_000_000_000 % (1 << 31) - (1 << 30), 123456789, 32, 32)
+
+    benchmark(run)
+    report(f"E-5.1 32x32 array: {len(net.cells)} cells per evaluation")

@@ -1,0 +1,62 @@
+"""E-5.6 — Figures 5.5/5.6: sample layout to full bit-systolic layout.
+
+Regenerates the 6x6 systolic multiplier of Figure 5.6 through both front
+ends and reports the layout inventory; the shape to check against the
+paper's figure is the structure: inner array of personalised basic
+cells, triangular register stacks on the top/bottom periphery, register
+rows on the right, every cell carrying type/clock/carry maskings.
+"""
+
+from repro.layout import flatten_cell
+from repro.multiplier import (
+    generate_multiplier,
+    generate_via_language,
+    report_for,
+)
+
+
+def test_generate_6x6_via_language(benchmark, report):
+    def run():
+        top, _ = generate_via_language(6, 6)
+        return top
+
+    top = benchmark.pedantic(run, rounds=3, iterations=1)
+    r = report_for(top, 6, 6)
+    x0, y0, x1, y1 = r.bounding_box
+    report(
+        "E-5.6 bit-systolic 6x6 multiplier (Figure 5.6), language path:",
+        f"  basic cells        : {r.basic_cells} (paper: 6x7 array incl. CPA row)",
+        f"  type I / II masks  : {r.type1_masks} / {r.type2_masks}",
+        f"  clock masks        : {r.clock_masks} (4 per cell)",
+        f"  carry masks        : {r.carry_masks}",
+        f"  peripheral regs    : {r.registers} + {r.direction_masks} direction masks",
+        f"  total instances    : {r.total_instances}",
+        f"  bounding box       : {x1 - x0} x {y1 - y0} lambda",
+    )
+    assert r.basic_cells == 42
+
+
+def test_generate_6x6_via_api(benchmark):
+    benchmark.pedantic(lambda: generate_multiplier(6, 6), rounds=3, iterations=1)
+
+
+def _impl_both_paths_identical(report):
+    top_lang, _ = generate_via_language(6, 6)
+    top_api = generate_multiplier(6, 6)
+    same = flatten_cell(top_lang).same_geometry(flatten_cell(top_api))
+    report(f"E-5.6 design-file path == Python-API path: {same}")
+    assert same
+
+
+def test_flatten_cost(benchmark, report):
+    top = generate_multiplier(6, 6)
+
+    def run():
+        return flatten_cell(top)
+
+    flat = benchmark(run)
+    report(f"E-5.6 flattened geometry: {flat.box_count()} boxes")
+
+
+def test_both_paths_identical(benchmark, report):
+    benchmark.pedantic(lambda: _impl_both_paths_identical(report), rounds=1, iterations=1)

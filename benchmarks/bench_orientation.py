@@ -1,0 +1,65 @@
+"""E-2.5 — Figure 2.5: the coordinate mapping of the 4 basic rotations,
+plus the cost of the (r, k) representation's group operations versus a
+2x2-matrix representation (the efficiency argument of section 2.6).
+"""
+
+import numpy as np
+
+from repro.geometry import ALL_ORIENTATIONS, EAST, NORTH, ROTATIONS, SOUTH, WEST
+
+
+def _impl_figure_2_5_table(report):
+    rows = ["Figure 2.5 — coordinate mapping for the 4 basic rotations",
+            f"{'Orientation':<12} {'x coordinate':<14} {'y coordinate':<14}"]
+    naming = {"north": ("x", "y"), "south": ("-x", "-y"),
+              "east": ("y", "-x"), "west": ("-y", "x")}
+    for orientation in (NORTH, SOUTH, EAST, WEST):
+        x_map, y_map = naming[orientation.name]
+        got = orientation.apply(1, 2)
+        expect = {"x": 1, "y": 2, "-x": -1, "-y": -2}
+        assert got == (expect[x_map], expect[y_map])
+        rows.append(f"{orientation.name:<12} {x_map:<14} {y_map:<14}")
+    report(*rows)
+
+
+def test_compose_pair_representation(benchmark):
+    """Composition in the paper's (r, k) encoding."""
+    pairs = [(a, b) for a in ALL_ORIENTATIONS for b in ALL_ORIENTATIONS]
+
+    def run():
+        total = 0
+        for a, b in pairs:
+            total += a.compose(b).r
+        return total
+
+    benchmark(run)
+
+
+def test_compose_matrix_representation(benchmark, report):
+    """The 2x2-matrix alternative the paper rejects as wasteful."""
+    matrices = [np.array(o.matrix()) for o in ALL_ORIENTATIONS]
+    pairs = [(a, b) for a in matrices for b in matrices]
+
+    def run():
+        total = 0
+        for a, b in pairs:
+            total += int((a @ b)[0, 0])
+        return total
+
+    benchmark(run)
+    report(
+        "E-2.5 note: the (r, k) pair composes via two integer ops;",
+        "the matrix form needs a 2x2 multiply — compare the two",
+        "bench rows (compose_pair vs compose_matrix) in the table below.",
+    )
+
+
+def test_invert_all(benchmark):
+    def run():
+        return [o.inverse() for o in ALL_ORIENTATIONS * 100]
+
+    benchmark(run)
+
+
+def test_figure_2_5_table(benchmark, report):
+    benchmark.pedantic(lambda: _impl_figure_2_5_table(report), rounds=1, iterations=1)

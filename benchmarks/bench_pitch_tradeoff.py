@@ -1,0 +1,131 @@
+"""E-6.1 — Figures 6.1/6.2: pitch tradeoffs and the cost function.
+
+Section 6.2: "lambda_a can be minimized to a greater extent at the cost
+of increasing lambda_b and vice versa ... the user has to explicitly
+provide a cost function in terms of lambda_a and lambda_b based on
+empirical estimates of what n and m are expected to be."
+
+Construction: an alternating ABAB... array with two row wires per cell.
+In row 1 cell A carries a wide bar and B a narrow one; in row 2 the
+widths swap.  Both rows force lambda_ab + lambda_ba >= K, but neither
+pitch is individually pinned — exactly the non-unique optimum whose
+resolution depends on the replication weights.  The sweep prints the
+(lambda_ab, lambda_ba) frontier.
+"""
+
+import pytest
+
+from repro.compact import LeafCellCompactor, PitchCost, TECH_A, check_layout
+from repro.core import Rsg
+from repro.geometry import NORTH, Vec2
+
+
+def build_workspace():
+    rsg = Rsg()
+    a = rsg.define_cell("A")
+    a.add_box("metal1", 0, 0, 6, 4)      # row 1: wide bar
+    a.add_box("metal1", 0, 8, 3, 12)     # row 2: narrow bar
+    b = rsg.define_cell("B")
+    b.add_box("metal1", 0, 0, 3, 4)      # row 1: narrow
+    b.add_box("metal1", 0, 8, 6, 12)     # row 2: wide
+    rsg.interface_by_example("A", Vec2(0, 0), NORTH, "B", Vec2(12, 0), NORTH, 1)
+    rsg.interface_by_example("B", Vec2(0, 0), NORTH, "A", Vec2(12, 0), NORTH, 2)
+    return rsg
+
+
+def solve(weight_ab, weight_ba):
+    rsg = build_workspace()
+    compactor = LeafCellCompactor(rsg, TECH_A, width_mode="preserve")
+    compactor.add_cell("A")
+    compactor.add_cell("B")
+    lam_ab = compactor.add_interface("A", "B", 1)
+    lam_ba = compactor.add_interface("B", "A", 2)
+    result = compactor.solve(
+        PitchCost(weights={lam_ab: weight_ab, lam_ba: weight_ba})
+    )
+    assert compactor.verify(result) == []
+    return result.pitches[lam_ab], result.pitches[lam_ba]
+
+
+def _impl_tradeoff_frontier(report):
+    rows = [
+        "E-6.1 pitch tradeoff, alternating ABAB array"
+        " (cost = m*lambda_ab + n*lambda_ba):",
+        f"{'m':>5} {'n':>5} {'lambda_ab':>10} {'lambda_ba':>10} {'period':>7}",
+    ]
+    frontier = []
+    for m, n in ((100, 1), (10, 1), (1, 1), (1, 10), (1, 100)):
+        lam_ab, lam_ba = solve(float(m), float(n))
+        frontier.append((lam_ab, lam_ba))
+        rows.append(f"{m:>5} {n:>5} {lam_ab:>10} {lam_ba:>10} {lam_ab + lam_ba:>7}")
+    report(*rows)
+    # The period is pinned by material + spacing; the split moves with
+    # the weights (the Figure 6.1 phenomenon).
+    periods = {a + b for a, b in frontier}
+    assert len(periods) == 1
+    assert frontier[0][0] < frontier[-1][0]      # heavy m -> small lambda_ab
+    assert frontier[0][1] > frontier[-1][1]      # heavy n -> small lambda_ba
+
+
+def _impl_replicated_array_legal_at_extreme_weights(report):
+    """Instantiate the alternating array at the solved pitches and DRC."""
+    lam_ab, lam_ba = solve(100.0, 1.0)
+    rsg = build_workspace()
+    compactor = LeafCellCompactor(rsg, TECH_A, width_mode="preserve")
+    compactor.add_cell("A")
+    compactor.add_cell("B")
+    key_ab = compactor.add_interface("A", "B", 1)
+    key_ba = compactor.add_interface("B", "A", 2)
+    result = compactor.solve(PitchCost(weights={key_ab: 100.0, key_ba: 1.0}))
+    layers = {"metal1": []}
+    x = 0
+    for k in range(8):
+        cell = result.cells["A" if k % 2 == 0 else "B"]
+        for layer_box in cell.boxes:
+            layers["metal1"].append(layer_box.box.translated(Vec2(x, 0)))
+        x += result.pitches[key_ab] if k % 2 == 0 else result.pitches[key_ba]
+    violations = check_layout(layers, TECH_A)
+    report(
+        f"E-6.1 replicated ABAB array at pitches ({result.pitches[key_ab]},"
+        f" {result.pitches[key_ba]}): {len(violations)} DRC violations"
+    )
+    assert violations == []
+
+
+@pytest.mark.parametrize("weights", [(100.0, 1.0), (1.0, 100.0)])
+def test_leafcell_solve_cost(benchmark, weights):
+    benchmark.pedantic(lambda: solve(*weights), rounds=3, iterations=1)
+
+
+def _impl_figure_62_intra_pitch_deformation(report):
+    """Figure 6.2: moving a bar inside the cell trades off against the
+    pitch — solved jointly, the minimum-pitch solution deforms the cell."""
+    rsg = Rsg()
+    a = rsg.define_cell("A")
+    a.add_box("metal1", 0, 0, 3, 4)
+    a.add_box("metal1", 8, 8, 11, 12)    # top bar drawn far right
+    rsg.interface_by_example("A", Vec2(0, 0), NORTH, "A", Vec2(16, 0), NORTH, 1)
+    compactor = LeafCellCompactor(rsg, TECH_A, width_mode="preserve")
+    compactor.add_cell("A")
+    lam = compactor.add_interface("A", "A", 1)
+    result = compactor.solve(PitchCost(weights={lam: 100.0}))
+    top_bar = result.cells["A"].boxes[1].box
+    report(
+        "E-6.2 joint solve: pitch "
+        f"{result.pitches[lam]} (drawn 16), top bar moved from x=8 to"
+        f" x={top_bar.xmin} inside the cell"
+    )
+    assert result.pitches[lam] == 6  # both bars reach width+spacing
+    assert compactor.verify(result) == []
+
+
+def test_tradeoff_frontier(benchmark, report):
+    benchmark.pedantic(lambda: _impl_tradeoff_frontier(report), rounds=1, iterations=1)
+
+
+def test_replicated_array_legal_at_extreme_weights(benchmark, report):
+    benchmark.pedantic(lambda: _impl_replicated_array_legal_at_extreme_weights(report), rounds=1, iterations=1)
+
+
+def test_figure_62_intra_pitch_deformation(benchmark, report):
+    benchmark.pedantic(lambda: _impl_figure_62_intra_pitch_deformation(report), rounds=1, iterations=1)

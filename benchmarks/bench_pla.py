@@ -1,0 +1,94 @@
+"""E-1.2 — Figure 1.2 / section 1.2.2: RSG versus HPLA.
+
+The comparison the paper makes qualitatively, run quantitatively:
+
+* equality — the RSG generates HPLA's output exactly (same geometry);
+* generality — the same sample layout also yields decoders, which the
+  relocation-scheme baseline cannot express without a new program;
+* cost — generation time for both generators across PLA sizes.
+"""
+
+import pytest
+
+from repro.layout import flatten_cell
+from repro.pla import (
+    HplaGenerator,
+    TruthTable,
+    generate_decoder,
+    generate_pla,
+    load_pla_library,
+)
+
+
+def random_table(n_in, n_out, n_terms, seed=3):
+    import random
+
+    rng = random.Random(seed)
+    and_rows = [
+        "".join(rng.choice("01-") for _ in range(n_in)) for _ in range(n_terms)
+    ]
+    or_rows = [
+        "".join(rng.choice("01") for _ in range(n_out)) for _ in range(n_terms)
+    ]
+    return TruthTable(and_rows, or_rows)
+
+
+SIZES = [(4, 4, 8), (8, 8, 16), (16, 8, 32)]
+
+
+@pytest.mark.parametrize("n_in,n_out,n_terms", SIZES)
+def test_rsg_pla(benchmark, n_in, n_out, n_terms, report):
+    table = random_table(n_in, n_out, n_terms)
+
+    def run():
+        return generate_pla(table)
+
+    pla = benchmark(run)
+    flat = flatten_cell(pla)
+    bbox = flat.bounding_box()
+    report(
+        f"E-1.2 RSG PLA {n_in}in/{n_out}out/{n_terms}pt:"
+        f" {bbox.width}x{bbox.height} lambda, {flat.box_count()} boxes"
+    )
+
+
+@pytest.mark.parametrize("n_in,n_out,n_terms", SIZES)
+def test_hpla_baseline(benchmark, n_in, n_out, n_terms):
+    table = random_table(n_in, n_out, n_terms)
+    generator = HplaGenerator()
+    benchmark(lambda: generator.generate(table))
+
+
+def _impl_equivalence(report):
+    table = random_table(6, 4, 10)
+    same = flatten_cell(generate_pla(table)).same_geometry(
+        flatten_cell(HplaGenerator().generate(table))
+    )
+    report(
+        "E-1.2 'The RSG can generate any PLA that HPLA can':"
+        f" geometric equality on a 6/4/10 PLA = {same}"
+    )
+    assert same
+
+
+def test_generality_decoder_from_same_sample(benchmark, report):
+    """Section 1.2.2: decoders from the PLA sample's AND-plane cells."""
+    rsg = load_pla_library()
+
+    counter = {"n": 0}
+
+    def run():
+        counter["n"] += 1
+        return generate_decoder(4, rsg=rsg, name=f"dec{counter['n']}")
+
+    decoder = benchmark(run)
+    flat = flatten_cell(decoder)
+    report(
+        "E-1.2 generality: 4-to-16 decoder from the *same* sample layout"
+        f" ({flat.box_count()} boxes) — one framework, multiple"
+        " architectures (Figure 1.2's middle column)"
+    )
+
+
+def test_equivalence(benchmark, report):
+    benchmark.pedantic(lambda: _impl_equivalence(report), rounds=1, iterations=1)

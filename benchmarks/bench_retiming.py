@@ -1,0 +1,88 @@
+"""E-5.2 — Figure 5.2: pipelined multiplier versions.
+
+(a) the bit-systolic multiplier (beta = 1, at most one full-adder delay
+between registers) and (b) the beta = 2 version.  The series to check:
+register count grows and latency grows as beta shrinks, while
+throughput stays one product per cycle; "the optimal degree of
+pipelining is application and technology dependent, so it is necessary
+to be able to automatically generate any degree" — the sweep below is
+that generation.
+"""
+
+import pytest
+
+from repro.multiplier import (
+    PipelinedSimulator,
+    build_baugh_wooley,
+    from_bits,
+    reference_product,
+    retime,
+    to_bits,
+    to_signed,
+)
+
+SIZE = 8
+NET = build_baugh_wooley(SIZE, SIZE)
+
+
+def _impl_beta_sweep_table(report):
+    rows = [
+        f"E-5.2 register/latency versus pipelining degree ({SIZE}x{SIZE}):",
+        f"{'beta':>6} {'latency':>8} {'registers':>10} {'internal':>9}"
+        f" {'peripheral':>11} {'max run':>8}",
+    ]
+    previous_registers = None
+    for beta in (1, 2, 3, 4, None):
+        assignment = retime(NET, beta)
+        rows.append(
+            f"{str(beta):>6} {assignment.latency:>8}"
+            f" {assignment.total_registers():>10}"
+            f" {assignment.internal_registers():>9}"
+            f" {assignment.peripheral_registers():>11}"
+            f" {assignment.max_combinational_run():>8}"
+        )
+        if previous_registers is not None and beta is not None:
+            assert assignment.total_registers() < previous_registers
+        previous_registers = assignment.total_registers()
+    report(*rows)
+
+
+@pytest.mark.parametrize("beta", [1, 2, 4])
+def test_retime_cost(benchmark, beta):
+    benchmark(retime, NET, beta)
+
+
+@pytest.mark.parametrize("beta", [1, 2])
+def test_pipelined_throughput(benchmark, beta, report):
+    """Cycles per product: must be 1 regardless of beta (the systolic
+    promise); the benchmark measures simulated cycle cost."""
+    assignment = retime(NET, beta)
+    sim = PipelinedSimulator(assignment)
+    pairs = [(a * 17 % 100 - 50, a * 31 % 100 - 50) for a in range(16)]
+    stream = []
+    for a, b in pairs:
+        vector = {}
+        for index, bit in enumerate(to_bits(a, SIZE)):
+            vector[f"a{index}"] = bit
+        for index, bit in enumerate(to_bits(b, SIZE)):
+            vector[f"b{index}"] = bit
+        stream.append(vector)
+
+    def run():
+        fresh = PipelinedSimulator(retime(NET, beta))
+        outs = fresh.run_stream(stream)
+        return [
+            to_signed(from_bits([o[f"p{k}"] for k in range(2 * SIZE)]), 2 * SIZE)
+            for o in outs
+        ]
+
+    products = benchmark(run)
+    assert products == [reference_product(a, b, SIZE, SIZE) for a, b in pairs]
+    report(
+        f"E-5.2 beta={beta}: {len(pairs)} products in {len(pairs)} cycles"
+        f" + latency {assignment.latency}"
+    )
+
+
+def test_beta_sweep_table(benchmark, report):
+    benchmark.pedantic(lambda: _impl_beta_sweep_table(report), rounds=1, iterations=1)

@@ -1,0 +1,20 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark prints the paper-shaped table through ``report`` (which
+bypasses pytest's capture) so the rows appear in ``bench_output.txt``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment rows through pytest's capture."""
+
+    def emit(*lines):
+        with capsys.disabled():
+            print()
+            for line in lines:
+                print(line)
+
+    return emit

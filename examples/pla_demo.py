@@ -1,0 +1,69 @@
+"""PLA generation: the RSG as a superset of HPLA (paper section 1.2.2).
+
+Generates a PLA from a truth table with the RSG, regenerates it with the
+HPLA-style relocation baseline, proves the outputs identical, verifies
+the logic by reading the personality back out of the layout, and then
+builds a decoder from the *same* sample cells — the generality argument
+of Figure 1.2.
+
+Run:  python examples/pla_demo.py
+"""
+
+import itertools
+
+from repro.layout import ascii_render, flatten_cell
+from repro.pla import (
+    HplaGenerator,
+    TruthTable,
+    extract_personality,
+    generate_decoder,
+    generate_pla,
+)
+
+# A 3-input, 2-output seven-segment-ish example.
+TABLE = TruthTable.parse(
+    """
+    1-0 | 10
+    01- | 11
+    -11 | 01
+    00- | 10
+    """
+)
+
+
+def main():
+    print("=== RSG PLA ===")
+    pla = generate_pla(TABLE)
+    flat = flatten_cell(pla)
+    print(f"{TABLE.num_inputs} inputs, {TABLE.num_outputs} outputs,"
+          f" {TABLE.num_terms} product terms")
+    print(f"bounding box {flat.bounding_box()}, {flat.box_count()} mask boxes")
+    print(ascii_render(pla, max_width=90, max_height=24))
+
+    print("\n=== HPLA relocation baseline ===")
+    hpla = HplaGenerator().generate(TABLE)
+    same = flat.same_geometry(flatten_cell(hpla))
+    print(f"geometry identical to the RSG output: {same}")
+
+    print("\n=== functional verification from the layout ===")
+    recovered = extract_personality(pla)
+    mismatches = 0
+    for bits in itertools.product([0, 1], repeat=TABLE.num_inputs):
+        if recovered.evaluate(list(bits)) != TABLE.evaluate(list(bits)):
+            mismatches += 1
+    print(f"personality read back from crosspoint masks; logic matches the"
+          f" specification on all {2 ** TABLE.num_inputs} input vectors"
+          f" ({mismatches} mismatches)")
+
+    print("\n=== decoder from the same sample layout ===")
+    decoder = generate_decoder(3)
+    dflat = flatten_cell(decoder)
+    print(f"3-to-8 decoder, bounding box {dflat.bounding_box()}")
+    print(ascii_render(decoder, max_width=60, max_height=20))
+    print("\nSame leaf cells, different architecture — 'requiring that the"
+          "\nsample layout look like the finished product ... reduces the"
+          "\nscope within which any given sample layout may be used.'")
+
+
+if __name__ == "__main__":
+    main()

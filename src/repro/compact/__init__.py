@@ -1,0 +1,52 @@
+"""The leaf-cell compaction study (chapter 6)."""
+
+from .constraints import Constraint, ConstraintSystem
+from .drc import Violation, check_layout
+from .flat import CompactionResult, compact_cell, compact_layout, compact_layout_xy
+from .layers import cut_count, expand_contact, expand_gate, expand_layout
+from .leafcell import LeafCellCompactor, LeafCellResult, PitchCost, pitch_name
+from .rubberband import alignment_pairs, misalignment, rubber_band_solve
+from .rules import TECH_A, TECH_B, ContactRule, DesignRules
+from .scanline import (
+    CompactionBox,
+    add_width_constraints,
+    build_edge_variables,
+    naive_constraints,
+    rebuild_boxes,
+    visibility_constraints,
+)
+from .solver import SolveStats, solve_longest_path
+
+__all__ = [
+    "Constraint",
+    "ConstraintSystem",
+    "Violation",
+    "check_layout",
+    "CompactionResult",
+    "compact_cell",
+    "compact_layout",
+    "compact_layout_xy",
+    "expand_contact",
+    "expand_gate",
+    "expand_layout",
+    "cut_count",
+    "LeafCellCompactor",
+    "LeafCellResult",
+    "PitchCost",
+    "pitch_name",
+    "alignment_pairs",
+    "misalignment",
+    "rubber_band_solve",
+    "DesignRules",
+    "ContactRule",
+    "TECH_A",
+    "TECH_B",
+    "CompactionBox",
+    "build_edge_variables",
+    "add_width_constraints",
+    "naive_constraints",
+    "visibility_constraints",
+    "rebuild_boxes",
+    "SolveStats",
+    "solve_longest_path",
+]

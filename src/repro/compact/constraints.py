@@ -1,0 +1,110 @@
+"""Constraint-graph representation (section 6.3).
+
+One-dimensional compaction in x: the unknowns are the abscissas of the
+vertical box edges, plus — for leaf-cell compaction — the pitch
+variables lambda_i.  A constraint is
+
+    x_target - x_source >= weight + sum(coefficient * lambda)
+
+Pure difference constraints (no lambda terms) form a graph solvable by
+longest-path Bellman-Ford; constraints carrying lambda terms require the
+linear-programming treatment of section 6.3 ("cannot be solved by
+shortest path algorithms ... because the weights are not all constants").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Constraint", "ConstraintSystem", "Variable"]
+
+Variable = str
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``x[target] - x[source] >= weight + sum(coef * pitch)``."""
+
+    source: Variable
+    target: Variable
+    weight: int
+    #: pitch-variable coefficients, e.g. {"lam_1": -1}
+    pitch_terms: Tuple[Tuple[str, int], ...] = ()
+    #: provenance tag for diagnostics ("width", "spacing", "overlap", ...)
+    kind: str = ""
+
+    def has_pitch_terms(self) -> bool:
+        return bool(self.pitch_terms)
+
+
+class ConstraintSystem:
+    """A set of variables, pitch variables, and constraints."""
+
+    def __init__(self) -> None:
+        self.variables: List[Variable] = []
+        self._variable_set: Dict[Variable, int] = {}
+        self.pitches: List[str] = []
+        self.constraints: List[Constraint] = []
+        #: initial positions (used by the sorted-edge solver optimisation)
+        self.initial: Dict[Variable, int] = {}
+
+    # ------------------------------------------------------------------
+    def add_variable(self, name: Variable, initial: int = 0) -> Variable:
+        if name not in self._variable_set:
+            self._variable_set[name] = len(self.variables)
+            self.variables.append(name)
+        self.initial[name] = initial
+        return name
+
+    def add_pitch(self, name: str) -> str:
+        if name not in self.pitches:
+            self.pitches.append(name)
+        return name
+
+    def add(
+        self,
+        source: Variable,
+        target: Variable,
+        weight: int,
+        pitch_terms: Iterable[Tuple[str, int]] = (),
+        kind: str = "",
+    ) -> Constraint:
+        if source not in self._variable_set or target not in self._variable_set:
+            raise KeyError("constraint endpoints must be declared variables")
+        constraint = Constraint(source, target, weight, tuple(pitch_terms), kind)
+        self.constraints.append(constraint)
+        return constraint
+
+    def require_equal(self, a: Variable, b: Variable, offset: int = 0) -> None:
+        """Pin ``x[b] - x[a] == offset`` (two inequalities)."""
+        self.add(a, b, offset, kind="equal")
+        self.add(b, a, -offset, kind="equal")
+
+    # ------------------------------------------------------------------
+    def has_pitch_terms(self) -> bool:
+        return any(c.has_pitch_terms() for c in self.constraints)
+
+    def index_of(self, variable: Variable) -> int:
+        return self._variable_set[variable]
+
+    def check(self, solution: Dict[Variable, int], pitches: Optional[Dict[str, int]] = None) -> List[Constraint]:
+        """Return the constraints *violated* by a candidate solution."""
+        pitches = pitches or {}
+        violated = []
+        for constraint in self.constraints:
+            bound = constraint.weight
+            for pitch, coefficient in constraint.pitch_terms:
+                bound += coefficient * pitches[pitch]
+            if solution[constraint.target] - solution[constraint.source] < bound:
+                violated.append(constraint)
+        return violated
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConstraintSystem({len(self.variables)} variables,"
+            f" {len(self.pitches)} pitches, {len(self.constraints)} constraints)"
+        )

@@ -1,0 +1,175 @@
+"""Flat (classical) one-dimensional compaction driver.
+
+The experimental compactor of section 6.4: flatten a cell, generate
+constraints with a scan method, solve by Bellman-Ford (optionally with
+the rubber-band refinement), and rebuild the geometry.  Supports both
+axes by transposing coordinates for the y pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cell import CellDefinition
+from ..geometry import Box
+from ..layout.database import FlatLayout, flatten_cell, merge_boxes
+from .constraints import ConstraintSystem
+from .drc import Violation, check_layout
+from .rubberband import alignment_pairs, misalignment, rubber_band_solve
+from .rules import DesignRules
+from .scanline import (
+    CompactionBox,
+    add_width_constraints,
+    build_edge_variables,
+    naive_constraints,
+    rebuild_boxes,
+    visibility_constraints,
+)
+from .solver import SolveStats, solve_longest_path
+
+__all__ = ["CompactionResult", "compact_layout", "compact_cell"]
+
+
+@dataclass
+class CompactionResult:
+    """Outcome of a flat compaction run."""
+
+    layers: Dict[str, List[Box]] = field(default_factory=dict)
+    width_before: int = 0
+    width_after: int = 0
+    constraint_count: int = 0
+    spacing_constraints: int = 0
+    stats: Optional[SolveStats] = None
+    jog_before: int = 0
+    jog_after: int = 0
+
+    def violations(self, rules: DesignRules) -> List[Violation]:
+        return check_layout(self.layers, rules)
+
+
+def _transpose_box(box: Box) -> Box:
+    return Box(box.ymin, box.xmin, box.ymax, box.xmax)
+
+
+def compact_layout(
+    layout: FlatLayout,
+    rules: DesignRules,
+    method: str = "visibility",
+    width_mode: str = "preserve",
+    rubber_band: bool = False,
+    axis: str = "x",
+    merge: bool = False,
+    sizing: Optional[Dict[Tuple[str, str], int]] = None,
+    sort_edges: bool = True,
+) -> CompactionResult:
+    """Compact a flat layout along one axis.
+
+    ``method`` is ``"visibility"`` (Figure 6.7), ``"naive"`` (band scan),
+    ``"naive-indiscriminate"`` (Figure 6.5 overconstraint) or
+    ``"naive-skip-hidden"`` (Figure 6.6 bug).  ``merge`` pre-merges boxes
+    per layer (section 6.4.1's preprocessing — incompatible with tag-based
+    ``sizing``, which is rejected).
+    """
+    if merge and sizing:
+        raise ValueError(
+            "box merging loses the cell tags that device sizing needs"
+            " (section 6.4.1); choose one"
+        )
+    pairs: List[Tuple[str, Box]] = []
+    for layer, boxes in sorted(layout.layers.items()):
+        source = merge_boxes(boxes) if merge else boxes
+        for box in source:
+            pairs.append((layer, _transpose_box(box) if axis == "y" else box))
+
+    system, comp_boxes = build_edge_variables(pairs)
+    add_width_constraints(system, comp_boxes, rules, mode=width_mode, sizing=sizing)
+    if method == "visibility":
+        spacing_count = visibility_constraints(system, comp_boxes, rules)
+    elif method == "naive":
+        spacing_count = naive_constraints(system, comp_boxes, rules)
+    elif method == "naive-indiscriminate":
+        spacing_count = naive_constraints(system, comp_boxes, rules, merge_aware=False)
+    elif method == "naive-skip-hidden":
+        spacing_count = naive_constraints(system, comp_boxes, rules, skip_hidden=True)
+    else:
+        raise ValueError(f"unknown constraint method {method!r}")
+
+    stats = solve_longest_path(system, sort_edges=sort_edges)
+    solution = stats.solution
+    align = alignment_pairs(comp_boxes)
+    result = CompactionResult(stats=stats)
+    result.spacing_constraints = spacing_count
+    result.constraint_count = len(system)
+    result.jog_before = misalignment(align, solution)
+    if rubber_band and align:
+        width_limit = max(solution.values()) if solution else 0
+        solution = rubber_band_solve(system, comp_boxes, width_limit, align)
+        result.jog_after = misalignment(align, solution)
+    else:
+        result.jog_after = result.jog_before
+
+    rebuilt = rebuild_boxes(comp_boxes, solution)
+    for layer, box in rebuilt:
+        result.layers.setdefault(layer, []).append(
+            _transpose_box(box) if axis == "y" else box
+        )
+
+    bbox = layout.bounding_box()
+    if bbox is not None:
+        result.width_before = bbox.width if axis == "x" else bbox.height
+    xs = [
+        (box.xmax if axis == "x" else box.ymax)
+        for boxes in result.layers.values()
+        for box in boxes
+    ]
+    lows = [
+        (box.xmin if axis == "x" else box.ymin)
+        for boxes in result.layers.values()
+        for box in boxes
+    ]
+    if xs:
+        result.width_after = max(xs) - min(lows)
+    return result
+
+
+def compact_layout_xy(
+    layout: FlatLayout,
+    rules: DesignRules,
+    order: str = "xy",
+    **options,
+) -> Tuple[CompactionResult, CompactionResult]:
+    """Two one-dimensional passes (the classical x-then-y compactor).
+
+    Section 6.1 notes that one-dimensional compaction "tries to greedily
+    optimize one dimension at a time and misses out on the optimizations
+    that require a more careful analysis of the interaction between the
+    two dimensions" — this driver is that greedy baseline, and the pass
+    order matters (try ``order="yx"``).  Returns the two pass results;
+    the second result's ``layers`` is the final geometry.
+    """
+    if sorted(order) != ["x", "y"]:
+        raise ValueError("order must be 'xy' or 'yx'")
+    first = compact_layout(layout, rules, axis=order[0], **options)
+    intermediate = FlatLayout(layout.name + "_pass1")
+    for layer, boxes in first.layers.items():
+        for box in boxes:
+            intermediate.add(layer, box)
+    second = compact_layout(intermediate, rules, axis=order[1], **options)
+    return first, second
+
+
+def compact_cell(
+    cell: CellDefinition,
+    rules: DesignRules,
+    name: Optional[str] = None,
+    **options,
+) -> Tuple[CellDefinition, CompactionResult]:
+    """Flatten ``cell``, compact it, and return a new flat cell."""
+    layout = flatten_cell(cell)
+    result = compact_layout(layout, rules, **options)
+    compacted = CellDefinition(name or f"{cell.name}_compacted")
+    for layer, boxes in sorted(result.layers.items()):
+        for box in boxes:
+            compacted.add_box(layer, box.xmin, box.ymin, box.xmax, box.ymax)
+    return compacted, result

@@ -1,0 +1,108 @@
+"""Derived layers and contact expansion (section 6.4.3, Figure 6.9).
+
+Rules like "poly must be 5 lambda wide over diff" or contact-cut
+geometry cannot be expressed as pairwise minimum-spacing constraints.
+The fix is to compact *derived* layers (a single ``contact`` layer with
+ordinary width/spacing rules) and translate them to physical mask layers
+at mask-creation time: a contact box expands into its metal and poly
+overlaps plus an array of contact cuts sized from a lookup table —
+exactly Magic's contact layer, which the paper cites.
+
+The same strategy handles transistors: a ``gate`` derived layer expands
+to poly over diff with the technology's gate width.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..geometry import Box
+from .rules import ContactRule, DesignRules
+
+__all__ = ["expand_contact", "expand_layout", "cut_count", "expand_gate"]
+
+
+def cut_count(extent: int, rule: ContactRule) -> int:
+    """How many contact cuts fit across ``extent`` of derived contact.
+
+    One cut always fits (the derived box is at least as big as the
+    minimum contact); additional cuts are added every
+    ``cut_size + cut_spacing``.
+    """
+    usable = extent - 2 * max(rule.metal_overlap, rule.poly_overlap)
+    if usable < rule.cut_size:
+        return 1
+    return 1 + (usable - rule.cut_size) // (rule.cut_size + rule.cut_spacing)
+
+
+def expand_contact(box: Box, rule: ContactRule) -> List[Tuple[str, Box]]:
+    """Expand one derived contact box into physical mask geometry.
+
+    Returns (layer, box) pairs: a ``metal1`` overlap, a ``poly`` overlap,
+    and an evenly spread grid of ``cut`` boxes (Figure 6.9).
+    """
+    result: List[Tuple[str, Box]] = [
+        ("metal1", box.grown(0)),
+        ("poly", box.grown(0)),
+    ]
+    columns = cut_count(box.width, rule)
+    rows = cut_count(box.height, rule)
+    grid_width = columns * rule.cut_size + (columns - 1) * rule.cut_spacing
+    grid_height = rows * rule.cut_size + (rows - 1) * rule.cut_spacing
+    x0 = box.xmin + (box.width - grid_width) // 2
+    y0 = box.ymin + (box.height - grid_height) // 2
+    step = rule.cut_size + rule.cut_spacing
+    for row in range(rows):
+        for column in range(columns):
+            cx = x0 + column * step
+            cy = y0 + row * step
+            result.append(
+                ("cut", Box(cx, cy, cx + rule.cut_size, cy + rule.cut_size))
+            )
+    return result
+
+
+def expand_gate(box: Box, rules: DesignRules) -> List[Tuple[str, Box]]:
+    """Expand a derived gate box into poly-over-diff geometry.
+
+    The poly strip is widened to the technology's gate width when the
+    drawn derived box is narrower — the "poly may be 3 lambda except
+    over diffusion where it might have to be 5" rule.
+    """
+    gate_width = rules.gate_width or rules.width("poly")
+    poly = box
+    if box.width < gate_width:
+        center2x = box.xmin + box.xmax
+        xmin = (center2x - gate_width) // 2
+        poly = Box(xmin, box.ymin, xmin + gate_width, box.ymax)
+    diff_extend = 1
+    diff = Box(
+        box.xmin - diff_extend, box.ymin, box.xmax + diff_extend, box.ymax
+    )
+    return [("poly", poly), ("diff", diff)]
+
+
+def expand_layout(
+    layers: Dict[str, List[Box]], rules: DesignRules
+) -> Dict[str, List[Box]]:
+    """Expand every derived layer of a flat layout to mask layers.
+
+    Non-derived layers pass through unchanged; ``contact`` and ``gate``
+    boxes are expanded per the technology's tables.
+    """
+    result: Dict[str, List[Box]] = {}
+
+    def put(layer: str, box: Box) -> None:
+        result.setdefault(layer, []).append(box)
+
+    for layer, boxes in layers.items():
+        for box in boxes:
+            if layer == "contact":
+                for out_layer, out_box in expand_contact(box, rules.contact):
+                    put(out_layer, out_box)
+            elif layer == "gate":
+                for out_layer, out_box in expand_gate(box, rules):
+                    put(out_layer, out_box)
+            else:
+                put(layer, box)
+    return result

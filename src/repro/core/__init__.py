@@ -1,0 +1,65 @@
+"""Core RSG machinery: cells, interfaces, connectivity graphs, operators."""
+
+from .cell import CellDefinition, CellTable, Instance, Label, LayerBox, Port
+from .errors import (
+    CellError,
+    CompactionError,
+    DisconnectedGraphError,
+    DuplicateCellError,
+    DuplicateInterfaceError,
+    EvalError,
+    GraphError,
+    InconsistentGraphError,
+    InfeasibleConstraintsError,
+    InterfaceError,
+    LanguageError,
+    ParseError,
+    RsgError,
+    UnboundVariableError,
+    UnknownCellError,
+    UnknownInterfaceError,
+)
+from .graph import Edge, Node, collect_graph, expand_graph
+from .interface import (
+    Interface,
+    derive_interface,
+    inherit_interface,
+    propagate_placement,
+)
+from .interface_table import InterfaceTable
+from .operators import Rsg
+
+__all__ = [
+    "CellDefinition",
+    "CellTable",
+    "Instance",
+    "Label",
+    "LayerBox",
+    "Port",
+    "Edge",
+    "Node",
+    "collect_graph",
+    "expand_graph",
+    "Interface",
+    "derive_interface",
+    "inherit_interface",
+    "propagate_placement",
+    "InterfaceTable",
+    "Rsg",
+    "RsgError",
+    "CellError",
+    "DuplicateCellError",
+    "UnknownCellError",
+    "InterfaceError",
+    "UnknownInterfaceError",
+    "DuplicateInterfaceError",
+    "GraphError",
+    "InconsistentGraphError",
+    "DisconnectedGraphError",
+    "LanguageError",
+    "ParseError",
+    "EvalError",
+    "UnboundVariableError",
+    "CompactionError",
+    "InfeasibleConstraintsError",
+]

@@ -1,0 +1,297 @@
+"""Cells, instances, and the layout objects they contain.
+
+Paper section 2.1: a cell consists of objects whose locations are defined
+in a local coordinate system — boxes of various layers, points (we call
+them ports, and give them names so netlists can reference them), and
+instances of other cells.  An instance is the triplet
+``(point of call, orientation, cell definition)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..geometry import Box, NORTH, Orientation, Transform, Vec2
+from .errors import DuplicateCellError, UnknownCellError
+
+__all__ = ["LayerBox", "Port", "Label", "Instance", "CellDefinition", "CellTable"]
+
+
+class LayerBox:
+    """A rectangle of mask material on a named layer."""
+
+    __slots__ = ("layer", "box")
+
+    def __init__(self, layer: str, box: Box) -> None:
+        self.layer = layer
+        self.box = box
+
+    def transformed(self, transform: Transform) -> "LayerBox":
+        return LayerBox(self.layer, transform.apply_box(self.box))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LayerBox):
+            return NotImplemented
+        return self.layer == other.layer and self.box == other.box
+
+    def __hash__(self) -> int:
+        return hash((self.layer, self.box))
+
+    def __repr__(self) -> str:
+        return f"LayerBox({self.layer!r}, {self.box!r})"
+
+
+class Port:
+    """A named point in a cell, used for connectivity and netlist extraction."""
+
+    __slots__ = ("name", "position", "layer")
+
+    def __init__(self, name: str, position: Vec2, layer: str = "") -> None:
+        self.name = name
+        self.position = position
+        self.layer = layer
+
+    def transformed(self, transform: Transform) -> "Port":
+        return Port(self.name, transform.apply(self.position), self.layer)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Port):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.position == other.position
+            and self.layer == other.layer
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.position, self.layer))
+
+    def __repr__(self) -> str:
+        return f"Port({self.name!r}, {self.position!r}, {self.layer!r})"
+
+
+class Label:
+    """A free-text annotation at a point (interface labels in sample files)."""
+
+    __slots__ = ("text", "position")
+
+    def __init__(self, text: str, position: Vec2) -> None:
+        self.text = text
+        self.position = position
+
+    def transformed(self, transform: Transform) -> "Label":
+        return Label(self.text, transform.apply(self.position))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Label):
+            return NotImplemented
+        return self.text == other.text and self.position == other.position
+
+    def __hash__(self) -> int:
+        return hash((self.text, self.position))
+
+    def __repr__(self) -> str:
+        return f"Label({self.text!r}, {self.position!r})"
+
+
+class Instance:
+    """A placed call of a cell: ``(point of call, orientation, definition)``.
+
+    The location/orientation may be unset (``None``) while the instance is
+    still a *partial instance* inside a connectivity graph; ``mk_cell``
+    fills them in during graph expansion (paper section 4.4.3).
+    """
+
+    __slots__ = ("definition", "location", "orientation", "name")
+
+    def __init__(
+        self,
+        definition: "CellDefinition",
+        location: Optional[Vec2] = None,
+        orientation: Optional[Orientation] = None,
+        name: str = "",
+    ) -> None:
+        self.definition = definition
+        self.location = location
+        self.orientation = orientation
+        self.name = name
+
+    @property
+    def celltype(self) -> str:
+        return self.definition.name
+
+    @property
+    def is_placed(self) -> bool:
+        return self.location is not None and self.orientation is not None
+
+    def place(self, location: Vec2, orientation: Orientation) -> None:
+        self.location = location
+        self.orientation = orientation
+
+    @property
+    def transform(self) -> Transform:
+        if not self.is_placed:
+            raise ValueError(f"instance of {self.celltype!r} is not placed")
+        return Transform(self.location, self.orientation)
+
+    def bounding_box(self) -> Optional[Box]:
+        inner = self.definition.bounding_box()
+        if inner is None or not self.is_placed:
+            return inner
+        return self.transform.apply_box(inner)
+
+    def __repr__(self) -> str:
+        where = (
+            f"@{self.location!r} {self.orientation!r}" if self.is_placed else "(unplaced)"
+        )
+        return f"Instance({self.celltype!r} {where})"
+
+
+class CellDefinition:
+    """A named cell: a list of boxes, ports, labels, and sub-instances."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.boxes: List[LayerBox] = []
+        self.ports: List[Port] = []
+        self.labels: List[Label] = []
+        self.instances: List[Instance] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_box(self, layer: str, xmin: int, ymin: int, xmax: int, ymax: int) -> LayerBox:
+        item = LayerBox(layer, Box(xmin, ymin, xmax, ymax))
+        self.boxes.append(item)
+        return item
+
+    def add_port(self, name: str, x: int, y: int, layer: str = "") -> Port:
+        port = Port(name, Vec2(x, y), layer)
+        self.ports.append(port)
+        return port
+
+    def add_label(self, text: str, x: int, y: int) -> Label:
+        label = Label(text, Vec2(x, y))
+        self.labels.append(label)
+        return label
+
+    def add_instance(
+        self,
+        definition: "CellDefinition",
+        location: Optional[Vec2] = None,
+        orientation: Optional[Orientation] = None,
+        name: str = "",
+    ) -> Instance:
+        if orientation is None and location is not None:
+            orientation = NORTH
+        instance = Instance(definition, location, orientation, name)
+        self.instances.append(instance)
+        return instance
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def port(self, name: str) -> Port:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(f"cell {self.name!r} has no port {name!r}")
+
+    def bounding_box(self) -> Optional[Box]:
+        """Bounding box over own geometry and placed sub-instances."""
+        result: Optional[Box] = None
+        for layer_box in self.boxes:
+            result = layer_box.box if result is None else result.union(layer_box.box)
+        for instance in self.instances:
+            if not instance.is_placed:
+                continue
+            sub = instance.bounding_box()
+            if sub is not None:
+                result = sub if result is None else result.union(sub)
+        return result
+
+    def flatten(self, transform: Transform = Transform()) -> Iterator[LayerBox]:
+        """Yield every mask box with hierarchy fully expanded."""
+        for layer_box in self.boxes:
+            yield layer_box.transformed(transform)
+        for instance in self.instances:
+            if not instance.is_placed:
+                continue
+            yield from instance.definition.flatten(transform.compose(instance.transform))
+
+    def flatten_ports(self, transform: Transform = Transform(), prefix: str = "") -> Iterator[Port]:
+        """Yield ports with hierarchical names ``inst/.../port``."""
+        for port in self.ports:
+            item = port.transformed(transform)
+            item.name = prefix + port.name
+            yield item
+        for index, instance in enumerate(self.instances):
+            if not instance.is_placed:
+                continue
+            tag = instance.name or f"{instance.celltype}#{index}"
+            yield from instance.definition.flatten_ports(
+                transform.compose(instance.transform), prefix=f"{prefix}{tag}/"
+            )
+
+    def count_instances(self, recursive: bool = False) -> int:
+        """Number of sub-instances (transitively when ``recursive``)."""
+        if not recursive:
+            return len(self.instances)
+        total = 0
+        for instance in self.instances:
+            total += 1 + instance.definition.count_instances(recursive=True)
+        return total
+
+    def layers(self) -> Tuple[str, ...]:
+        """Sorted tuple of layers present anywhere under this cell."""
+        seen = set()
+        for layer_box in self.flatten():
+            seen.add(layer_box.layer)
+        return tuple(sorted(seen))
+
+    def __repr__(self) -> str:
+        return (
+            f"CellDefinition({self.name!r}, boxes={len(self.boxes)},"
+            f" instances={len(self.instances)})"
+        )
+
+
+class CellTable:
+    """The table of available cell definitions (paper Figure 4.1).
+
+    Variable lookup in the design-file interpreter falls through to this
+    table, so cell names behave like ordinary identifiers.
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[str, CellDefinition] = {}
+
+    def define(self, cell: CellDefinition, replace: bool = False) -> CellDefinition:
+        if cell.name in self._cells and not replace:
+            raise DuplicateCellError(f"cell {cell.name!r} already defined")
+        self._cells[cell.name] = cell
+        return cell
+
+    def new_cell(self, name: str, replace: bool = False) -> CellDefinition:
+        return self.define(CellDefinition(name), replace=replace)
+
+    def lookup(self, name: str) -> CellDefinition:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise UnknownCellError(f"unknown cell {name!r}") from None
+
+    def get(self, name: str) -> Optional[CellDefinition]:
+        return self._cells.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self) -> Iterator[CellDefinition]:
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._cells)

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the RSG reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "RsgError",
+    "CellError",
+    "DuplicateCellError",
+    "UnknownCellError",
+    "InterfaceError",
+    "UnknownInterfaceError",
+    "DuplicateInterfaceError",
+    "GraphError",
+    "InconsistentGraphError",
+    "DisconnectedGraphError",
+    "LanguageError",
+    "ParseError",
+    "EvalError",
+    "UnboundVariableError",
+    "CompactionError",
+    "InfeasibleConstraintsError",
+]
+
+
+class RsgError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CellError(RsgError):
+    """Problems with cell definitions or the cell table."""
+
+
+class DuplicateCellError(CellError):
+    """A cell with this name already exists in the table."""
+
+
+class UnknownCellError(CellError):
+    """A cell name did not resolve in the cell table."""
+
+
+class InterfaceError(RsgError):
+    """Problems with interfaces or the interface table."""
+
+
+class UnknownInterfaceError(InterfaceError):
+    """No interface with the requested (cells, index) triple is loaded."""
+
+
+class DuplicateInterfaceError(InterfaceError):
+    """An interface with this (cells, index) triple is already loaded."""
+
+
+class GraphError(RsgError):
+    """Problems building or expanding connectivity graphs."""
+
+
+class InconsistentGraphError(GraphError):
+    """A cycle in the connectivity graph implies contradictory placements."""
+
+
+class DisconnectedGraphError(GraphError):
+    """The connectivity graph is not a single connected component."""
+
+
+class LanguageError(RsgError):
+    """Problems in the design-file language front end."""
+
+
+class ParseError(LanguageError):
+    """Syntax error in a design or parameter file."""
+
+
+class EvalError(LanguageError):
+    """Runtime error while executing a design file."""
+
+
+class UnboundVariableError(EvalError):
+    """A variable resolved in neither environment, globals, nor cell table."""
+
+
+class CompactionError(RsgError):
+    """Problems in the compactor."""
+
+
+class InfeasibleConstraintsError(CompactionError):
+    """The constraint system admits no solution (positive cycle / LP infeasible)."""

@@ -1,0 +1,207 @@
+"""Connectivity graphs (paper chapter 3).
+
+A connectivity graph describes a new cell as *partial instances* (celltype
+known, placement unknown) joined by edges that name interfaces.  The graph
+need only be a spanning tree; expansion places a root arbitrarily and walks
+the graph applying equations 3.1/3.2.
+
+Data-structure requirements from section 3.4:
+
+* edges are **bilateral** — each endpoint holds an edge record pointing at
+  the other, because the traversal root is not known while the graph is
+  being built;
+* edges are **directed** — a direction bit records which endpoint is the
+  reference instance of the interface, resolving the ``I_aa`` versus
+  ``I_aa^-1`` ambiguity for edges between nodes of the same celltype.
+
+Cycle edges are permitted but checked: when a non-tree edge is encountered
+during expansion, the placement it implies must agree with the placement
+already assigned, otherwise :class:`InconsistentGraphError` is raised (the
+paper calls cycle information "redundant"; we verify the redundancy).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List, Optional, Tuple
+
+from ..geometry import NORTH, Orientation, Vec2
+from .cell import CellDefinition, Instance
+from .errors import DisconnectedGraphError, GraphError, InconsistentGraphError
+from .interface import propagate_placement
+from .interface_table import InterfaceTable
+
+__all__ = ["Node", "Edge", "expand_graph", "collect_graph"]
+
+
+class Edge:
+    """A directed, bilateral edge carrying an interface index number.
+
+    ``source`` is the reference instance (deskewed to North in the
+    interface definition); ``target`` the placed-relative instance.
+    """
+
+    __slots__ = ("source", "target", "index")
+
+    def __init__(self, source: "Node", target: "Node", index: int) -> None:
+        self.source = source
+        self.target = target
+        self.index = index
+
+    def other(self, node: "Node") -> "Node":
+        if node is self.source:
+            return self.target
+        if node is self.target:
+            return self.source
+        raise GraphError("node is not an endpoint of this edge")
+
+    def emanates_from(self, node: "Node") -> bool:
+        """True when the edge's direction bit is 1 at ``node``."""
+        return node is self.source
+
+    def __repr__(self) -> str:
+        return (
+            f"Edge({self.source.celltype!r} -> {self.target.celltype!r},"
+            f" #{self.index})"
+        )
+
+
+class Node:
+    """A connectivity-graph node wrapping a (possibly partial) instance."""
+
+    __slots__ = ("instance", "edges", "name")
+
+    def __init__(self, definition: CellDefinition, name: str = "") -> None:
+        self.instance = Instance(definition, name=name)
+        self.edges: List[Edge] = []
+        self.name = name
+
+    @property
+    def celltype(self) -> str:
+        return self.instance.celltype
+
+    @property
+    def is_placed(self) -> bool:
+        return self.instance.is_placed
+
+    def connect(self, other: "Node", index: int) -> Edge:
+        """Create a directed edge ``self -> other`` with interface ``index``.
+
+        The edge record is appended to both endpoints' edge lists
+        (bilateral data structure), with ``self`` as the reference
+        instance (section 3.4's privileged direction).
+        """
+        edge = Edge(self, other, index)
+        self.edges.append(edge)
+        if other is not self:
+            other.edges.append(edge)
+        return edge
+
+    def degree(self) -> int:
+        return len(self.edges)
+
+    def __repr__(self) -> str:
+        return f"Node({self.celltype!r}, degree={self.degree()})"
+
+
+def collect_graph(root: Node) -> List[Node]:
+    """Return every node reachable from ``root`` (breadth-first order)."""
+    seen = {id(root): root}
+    order = [root]
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        for edge in node.edges:
+            neighbor = edge.other(node)
+            if id(neighbor) not in seen:
+                seen[id(neighbor)] = neighbor
+                order.append(neighbor)
+                queue.append(neighbor)
+    return order
+
+
+def _placement_across(
+    edge: Edge, placed: Node, table: InterfaceTable
+) -> Tuple[Vec2, Orientation]:
+    """Placement of the unplaced endpoint of ``edge`` from the placed one.
+
+    Traversal along the edge direction uses the table interface directly;
+    traversal against it uses the inverse — this is where the direction
+    bit earns its keep for same-celltype edges.
+    """
+    other = edge.other(placed)
+    interface = table.lookup(edge.source.celltype, edge.target.celltype, edge.index)
+    if not edge.emanates_from(placed):
+        interface = interface.inverse()
+    return propagate_placement(
+        placed.instance.location, placed.instance.orientation, interface
+    )
+
+
+def expand_graph(
+    root: Node,
+    table: InterfaceTable,
+    root_location: Vec2 = Vec2(0, 0),
+    root_orientation: Orientation = NORTH,
+    expected_nodes: Optional[List[Node]] = None,
+) -> List[Node]:
+    """Expand a connectivity graph into placed instances (section 3.1).
+
+    The root is placed at ``(root_location, root_orientation)``; every
+    other reachable node receives the placement implied by the spanning
+    tree of the breadth-first traversal.  Non-tree (cycle) edges are
+    verified for consistency.
+
+    ``expected_nodes`` (optional) asserts that the reachable component
+    covers exactly those nodes, raising
+    :class:`DisconnectedGraphError` otherwise.
+
+    Returns the list of nodes in traversal order.
+    """
+    for node in collect_graph(root):
+        node.instance.location = None
+        node.instance.orientation = None
+
+    root.instance.place(root_location, root_orientation)
+    order = [root]
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        for edge in node.edges:
+            neighbor = edge.other(node)
+            location, orientation = _placement_across(edge, node, table)
+            if neighbor.is_placed:
+                if (
+                    neighbor.instance.location != location
+                    or neighbor.instance.orientation != orientation
+                ):
+                    raise InconsistentGraphError(
+                        f"cycle edge {edge!r} implies placement"
+                        f" ({location!r}, {orientation!r}) but node already"
+                        f" placed at ({neighbor.instance.location!r},"
+                        f" {neighbor.instance.orientation!r})"
+                    )
+                continue
+            neighbor.instance.place(location, orientation)
+            order.append(neighbor)
+            queue.append(neighbor)
+
+    if expected_nodes is not None:
+        reachable = {id(node) for node in order}
+        missing = [node for node in expected_nodes if id(node) not in reachable]
+        if missing:
+            raise DisconnectedGraphError(
+                f"{len(missing)} node(s) unreachable from the root,"
+                f" first: {missing[0]!r}"
+            )
+    return order
+
+
+def iter_edges(nodes: List[Node]) -> Iterator[Edge]:
+    """Yield each edge of the graph exactly once."""
+    seen = set()
+    for node in nodes:
+        for edge in node.edges:
+            if id(edge) not in seen:
+                seen.add(id(edge))
+                yield edge

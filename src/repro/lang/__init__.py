@@ -1,0 +1,26 @@
+"""The design-file language: tokenizer, parser, environments, interpreter."""
+
+from .ast_nodes import Form, IndexedVar, Statement, Symbol
+from .environment import Alias, Environment, GlobalEnvironment
+from .interpreter import Interpreter, Procedure
+from .param_file import ParameterSet, parse_parameters
+from .parser import parse_program, parse_statement
+from .tokens import Token, tokenize
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse_program",
+    "parse_statement",
+    "Form",
+    "IndexedVar",
+    "Symbol",
+    "Statement",
+    "Alias",
+    "Environment",
+    "GlobalEnvironment",
+    "Interpreter",
+    "Procedure",
+    "ParameterSet",
+    "parse_parameters",
+]

@@ -1,0 +1,573 @@
+"""The design-file interpreter (chapter 4).
+
+Executes the Lisp-subset language of Appendix A against an
+:class:`~repro.core.operators.Rsg` workspace:
+
+* ``defun`` defines functions (return the value of their last statement);
+* ``macro`` defines macros, which are identical except that they return
+  their evaluation :class:`Environment` — macro names must begin with
+  ``m`` so call sites are classifiable ahead of time (section 4.2);
+* ``subcell env var`` selects a binding out of a returned environment;
+* ``mk_instance`` / ``connect`` / ``mk_cell`` / ``declare_interface`` are
+  the connectivity-graph primitives of section 4.4;
+* variable lookup follows Figure 4.1: procedure frame, then global
+  environment, then the cell table, chasing parameter-file aliases;
+* procedures are *not* first class (they live in a separate procedure
+  table and cannot be passed as values).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..core.cell import CellDefinition, Instance
+from ..core.errors import EvalError, UnknownCellError
+from ..core.graph import Node
+from ..core.operators import Rsg
+from .ast_nodes import Form, IndexedVar, Statement, Symbol
+from .environment import Alias, BindingKey, Environment, GlobalEnvironment
+from .parser import parse_program
+
+__all__ = ["Interpreter", "Procedure"]
+
+
+class Procedure:
+    """A user-defined function or macro (not a first-class value)."""
+
+    __slots__ = ("name", "formals", "locals", "body", "is_macro")
+
+    def __init__(
+        self,
+        name: str,
+        formals: List[str],
+        locals_: List[str],
+        body: List[Statement],
+        is_macro: bool,
+    ) -> None:
+        self.name = name
+        self.formals = formals
+        self.locals = locals_
+        self.body = body
+        self.is_macro = is_macro
+
+    def __repr__(self) -> str:
+        kind = "macro" if self.is_macro else "defun"
+        return f"Procedure({kind} {self.name} ({' '.join(self.formals)}))"
+
+
+def _truthy(value: Any) -> bool:
+    """Lisp truth: nil (None) and false are false; everything else true."""
+    return value is not None and value is not False
+
+
+_ARITH: Dict[str, Callable[..., Any]] = {}
+
+
+def _register_arith() -> None:
+    def fold(op: Callable[[int, int], int], unit: Optional[int] = None):
+        def call(*args: int) -> int:
+            if not args:
+                if unit is None:
+                    raise EvalError("operator needs at least one argument")
+                return unit
+            result = args[0]
+            for value in args[1:]:
+                result = op(result, value)
+            return result
+
+        return call
+
+    _ARITH["+"] = fold(lambda a, b: a + b, 0)
+    _ARITH["*"] = fold(lambda a, b: a * b, 1)
+
+    def minus(*args: int) -> int:
+        if not args:
+            raise EvalError("'-' needs at least one argument")
+        if len(args) == 1:
+            return -args[0]
+        result = args[0]
+        for value in args[1:]:
+            result -= value
+        return result
+
+    _ARITH["-"] = minus
+
+    def divide(*args: int) -> int:
+        if len(args) != 2:
+            raise EvalError("'//' needs exactly two arguments")
+        if args[1] == 0:
+            raise EvalError("division by zero")
+        quotient = abs(args[0]) // abs(args[1])
+        return quotient if (args[0] >= 0) == (args[1] >= 0) else -quotient
+
+    _ARITH["//"] = divide
+    _ARITH["/"] = divide
+
+    def mod(*args: int) -> int:
+        if len(args) != 2:
+            raise EvalError("'mod' needs exactly two arguments")
+        if args[1] == 0:
+            raise EvalError("mod by zero")
+        return args[0] % args[1] if args[1] > 0 else -((-args[0]) % (-args[1]))
+
+    _ARITH["mod"] = mod
+
+    def compare(op: Callable[[Any, Any], bool]):
+        def call(*args: Any) -> bool:
+            if len(args) < 2:
+                raise EvalError("comparison needs two arguments")
+            return all(op(a, b) for a, b in zip(args, args[1:]))
+
+        return call
+
+    _ARITH["="] = compare(lambda a, b: a == b)
+    _ARITH["/="] = compare(lambda a, b: a != b)
+    _ARITH[">"] = compare(lambda a, b: a > b)
+    _ARITH["<"] = compare(lambda a, b: a < b)
+    _ARITH[">="] = compare(lambda a, b: a >= b)
+    _ARITH["<="] = compare(lambda a, b: a <= b)
+    _ARITH["min"] = lambda *args: min(args)
+    _ARITH["max"] = lambda *args: max(args)
+    _ARITH["abs"] = lambda value: abs(value)
+
+    def logical_not(value: Any) -> bool:
+        return not _truthy(value)
+
+    _ARITH["not"] = logical_not
+
+
+_register_arith()
+
+def _register_table_builtins(builtins: Dict[str, Callable[..., Any]]) -> None:
+    """Encoding-table accessors (1-based indices, matching `do` loops).
+
+    Tables are any objects with the :class:`repro.pla.TruthTable`
+    protocol, bound into the global environment from Python or the
+    parameter layer.
+    """
+
+    def table_terms(table) -> int:
+        return table.num_terms
+
+    def table_inputs(table) -> int:
+        return table.num_inputs
+
+    def table_outputs(table) -> int:
+        return table.num_outputs
+
+    def table_literal(table, term: int, column: int) -> int:
+        """1 for a true literal, 0 for complemented, -1 for absent."""
+        literal = table.and_plane[term - 1][column - 1]
+        return {"1": 1, "0": 0, "-": -1}[literal]
+
+    def table_output(table, term: int, column: int) -> int:
+        return 1 if table.or_plane[term - 1][column - 1] == "1" else 0
+
+    builtins["table_terms"] = table_terms
+    builtins["table_inputs"] = table_inputs
+    builtins["table_outputs"] = table_outputs
+    builtins["table_literal"] = table_literal
+    builtins["table_output"] = table_output
+
+
+_SPECIAL_FORMS = frozenset(
+    {
+        "defun",
+        "macro",
+        "cond",
+        "do",
+        "assign",
+        "setq",
+        "prog",
+        "and",
+        "or",
+        "subcell",
+        "mk_instance",
+        "mkinstance",
+        "connect",
+        "mk_cell",
+        "mkcell",
+        "declare_interface",
+        "declareinterface",
+        "print",
+        "read",
+        "quote",
+    }
+)
+
+
+class Interpreter:
+    """Evaluator for design files, bound to an RSG workspace."""
+
+    def __init__(self, rsg: Optional[Rsg] = None, max_depth: int = 120) -> None:
+        self.rsg = rsg if rsg is not None else Rsg()
+        self.globals = GlobalEnvironment(cell_table=self.rsg.cells)
+        self.procedures: Dict[str, Procedure] = {}
+        self.output: List[Any] = []
+        self.input_queue: List[Any] = []
+        self.max_depth = max_depth
+        self._depth = 0
+        self.globals.bind("true", True)
+        self.globals.bind("false", False)
+        self.globals.bind("nil", None)
+        #: extra primitive functions, e.g. the encoding-table accessors
+        #: ("primitives for manipulating encoding tables (such as PLA
+        #: truth tables) have also been added", section 4).
+        self.builtins: Dict[str, Callable[..., Any]] = {}
+        _register_table_builtins(self.builtins)
+
+    def register_builtin(self, name: str, function: Callable[..., Any]) -> None:
+        """Add a primitive function callable from design files.
+
+        The name must not collide with special forms or arithmetic
+        primitives, and must not start with ``m`` (so call sites remain
+        classifiable, section 4.2).
+        """
+        if name in _SPECIAL_FORMS or name in _ARITH:
+            raise EvalError(f"{name!r} is already a primitive")
+        if name.startswith("m"):
+            raise EvalError("builtin names may not begin with 'm'")
+        self.builtins[name] = function
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run(self, text: str) -> Any:
+        """Parse and execute design-file text; return the last value."""
+        program = parse_program(text)
+        frame = self.globals.frame("__toplevel__")
+        result: Any = None
+        for statement in program:
+            result = self.eval(statement, frame)
+        return result
+
+    def run_file(self, path: str) -> Any:
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.run(handle.read())
+
+    def set_parameter(self, name: str, value: Any) -> None:
+        """Bind a parameter-file value in the global environment."""
+        self.globals.bind(name, value)
+
+    def set_parameters(self, bindings: Dict[str, Any]) -> None:
+        for name, value in bindings.items():
+            self.set_parameter(name, value)
+
+    def call(self, name: str, *args: Any) -> Any:
+        """Invoke a defined procedure from Python."""
+        procedure = self.procedures.get(name)
+        if procedure is None:
+            raise EvalError(f"no procedure named {name!r}")
+        return self._apply(procedure, list(args))
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def eval(self, statement: Statement, env: Environment) -> Any:
+        if isinstance(statement, int) or isinstance(statement, str):
+            return statement
+        if isinstance(statement, Symbol):
+            return env.lookup(statement.name)
+        if isinstance(statement, IndexedVar):
+            return env.lookup(self._index_key(statement, env))
+        if isinstance(statement, Form):
+            return self._eval_form(statement, env)
+        raise EvalError(f"cannot evaluate {statement!r}")
+
+    def _index_key(self, var: IndexedVar, env: Environment) -> BindingKey:
+        indices = []
+        for index_statement in var.indices:
+            value = self.eval(index_statement, env)
+            if not isinstance(value, int):
+                raise EvalError(
+                    f"line {var.line}: index of {var.base!r} must be an"
+                    f" integer, got {value!r}"
+                )
+            indices.append(value)
+        return (var.base, tuple(indices))
+
+    def _eval_form(self, form: Form, env: Environment) -> Any:
+        if len(form) == 0:
+            return None
+        head = form[0]
+        if not isinstance(head, Symbol):
+            raise EvalError(f"line {form.line}: form head must be a name")
+        name = head.name
+
+        if name in _SPECIAL_FORMS:
+            return getattr(self, "_form_" + name.replace("mkinstance", "mk_instance")
+                           .replace("mkcell", "mk_cell")
+                           .replace("declareinterface", "declare_interface"))(form, env)
+        if name in _ARITH:
+            args = [self.eval(item, env) for item in form[1:]]
+            return _ARITH[name](*args)
+        if name in self.builtins:
+            args = [self.eval(item, env) for item in form[1:]]
+            try:
+                return self.builtins[name](*args)
+            except EvalError:
+                raise
+            except Exception as exc:
+                raise EvalError(f"line {form.line}: {name}: {exc}") from exc
+        if name in self.procedures:
+            args = [self.eval(item, env) for item in form[1:]]
+            return self._apply(self.procedures[name], args)
+        raise EvalError(f"line {form.line}: unknown procedure {name!r}")
+
+    def _apply(self, procedure: Procedure, args: List[Any]) -> Any:
+        if len(args) != len(procedure.formals):
+            raise EvalError(
+                f"{procedure.name} expects {len(procedure.formals)}"
+                f" argument(s), got {len(args)}"
+            )
+        if self._depth >= self.max_depth:
+            raise EvalError(f"recursion depth exceeded in {procedure.name}")
+        frame = self.globals.frame(procedure.name)
+        for formal, value in zip(procedure.formals, args):
+            frame.bind(formal, value)
+        for local in procedure.locals:
+            frame.bind(local, None)
+        self._depth += 1
+        try:
+            result: Any = None
+            for statement in procedure.body:
+                result = self.eval(statement, frame)
+        finally:
+            self._depth -= 1
+        return frame if procedure.is_macro else result
+
+    # ------------------------------------------------------------------
+    # Special forms: definitions
+    # ------------------------------------------------------------------
+    def _define(self, form: Form, env: Environment, is_macro: bool) -> None:
+        keyword = "macro" if is_macro else "defun"
+        if len(form) < 3:
+            raise EvalError(f"line {form.line}: malformed {keyword}")
+        name_node = form[1]
+        if not isinstance(name_node, Symbol):
+            raise EvalError(f"line {form.line}: {keyword} name must be a symbol")
+        name = name_node.name
+        if is_macro and not name.startswith("m"):
+            raise EvalError(
+                f"line {form.line}: macro name {name!r} must begin with 'm'"
+                " (section 4.2)"
+            )
+        if not is_macro and name.startswith("m"):
+            raise EvalError(
+                f"line {form.line}: function name {name!r} may not begin"
+                " with 'm' — the interpreter classifies call sites by the"
+                " leading letter (section 4.2)"
+            )
+        formals_node = form[2]
+        if not isinstance(formals_node, Form):
+            raise EvalError(f"line {form.line}: {keyword} needs a formals list")
+        formals = [self._formal_name(item, form) for item in formals_node]
+        body = list(form.items[3:])
+        locals_: List[str] = []
+        if body and isinstance(body[0], Form) and len(body[0]) >= 1:
+            first = body[0]
+            if isinstance(first[0], Symbol) and first[0].name in ("locals", "local"):
+                locals_ = [self._formal_name(item, form) for item in first.items[1:]]
+                body = body[1:]
+        self.procedures[name] = Procedure(name, formals, locals_, body, is_macro)
+
+    @staticmethod
+    def _formal_name(item: Statement, form: Form) -> str:
+        if not isinstance(item, Symbol):
+            raise EvalError(f"line {form.line}: formal/local must be a symbol")
+        return item.name
+
+    def _form_defun(self, form: Form, env: Environment) -> None:
+        self._define(form, env, is_macro=False)
+
+    def _form_macro(self, form: Form, env: Environment) -> None:
+        self._define(form, env, is_macro=True)
+
+    # ------------------------------------------------------------------
+    # Special forms: control
+    # ------------------------------------------------------------------
+    def _form_cond(self, form: Form, env: Environment) -> Any:
+        for clause in form.items[1:]:
+            if not isinstance(clause, Form) or len(clause) < 1:
+                raise EvalError(f"line {form.line}: malformed cond clause")
+            if _truthy(self.eval(clause[0], env)):
+                result: Any = None
+                for statement in clause.items[1:]:
+                    result = self.eval(statement, env)
+                return result
+        return None
+
+    def _form_do(self, form: Form, env: Environment) -> Any:
+        if len(form) < 2 or not isinstance(form[1], Form) or len(form[1]) != 4:
+            raise EvalError(
+                f"line {form.line}: do needs (var initial next exit) header"
+            )
+        header = form[1]
+        var = header[0]
+        if not isinstance(var, Symbol):
+            raise EvalError(f"line {form.line}: do variable must be a symbol")
+        env.bind(var.name, self.eval(header[1], env))
+        result: Any = None
+        iterations = 0
+        while not _truthy(self.eval(header[3], env)):
+            for statement in form.items[2:]:
+                result = self.eval(statement, env)
+            env.bind(var.name, self.eval(header[2], env))
+            iterations += 1
+            if iterations > 10_000_000:
+                raise EvalError(f"line {form.line}: runaway do loop")
+        return result
+
+    def _form_prog(self, form: Form, env: Environment) -> Any:
+        result: Any = None
+        for statement in form.items[1:]:
+            result = self.eval(statement, env)
+        return result
+
+    def _form_and(self, form: Form, env: Environment) -> Any:
+        value: Any = True
+        for statement in form.items[1:]:
+            value = self.eval(statement, env)
+            if not _truthy(value):
+                return False
+        return value
+
+    def _form_or(self, form: Form, env: Environment) -> Any:
+        for statement in form.items[1:]:
+            value = self.eval(statement, env)
+            if _truthy(value):
+                return value
+        return False
+
+    def _form_quote(self, form: Form, env: Environment) -> Any:
+        if len(form) != 2:
+            raise EvalError(f"line {form.line}: quote needs one argument")
+        item = form[1]
+        if isinstance(item, Symbol):
+            return item.name
+        return item
+
+    # ------------------------------------------------------------------
+    # Special forms: assignment and environment access
+    # ------------------------------------------------------------------
+    def _assign_target(self, target: Statement, env: Environment) -> BindingKey:
+        if isinstance(target, Symbol):
+            return target.name
+        if isinstance(target, IndexedVar):
+            return self._index_key(target, env)
+        raise EvalError("assignment target must be a variable")
+
+    def _form_assign(self, form: Form, env: Environment) -> Any:
+        if len(form) != 3:
+            raise EvalError(f"line {form.line}: assign needs target and value")
+        value = self.eval(form[2], env)
+        env.bind(self._assign_target(form[1], env), value)
+        return value
+
+    _form_setq = _form_assign
+
+    def _form_subcell(self, form: Form, env: Environment) -> Any:
+        if len(form) != 3:
+            raise EvalError(f"line {form.line}: subcell needs env and variable")
+        target_env = self.eval(form[1], env)
+        if not isinstance(target_env, Environment):
+            raise EvalError(
+                f"line {form.line}: subcell's first argument must be a macro"
+                f" environment, got {type(target_env).__name__}"
+            )
+        key_node = form[2]
+        if isinstance(key_node, Symbol):
+            key: BindingKey = key_node.name
+        elif isinstance(key_node, IndexedVar):
+            # Index expressions evaluate in the *caller's* environment.
+            key = self._index_key(key_node, env)
+        else:
+            raise EvalError(f"line {form.line}: subcell variable must be a name")
+        return target_env.local(key)
+
+    # ------------------------------------------------------------------
+    # Special forms: graph primitives (section 4.4)
+    # ------------------------------------------------------------------
+    def _resolve_cell(self, value: Any, line: int) -> CellDefinition:
+        if isinstance(value, CellDefinition):
+            return value
+        if isinstance(value, str):
+            try:
+                return self.rsg.cells.lookup(value)
+            except UnknownCellError as exc:
+                raise EvalError(f"line {line}: {exc}") from None
+        raise EvalError(
+            f"line {line}: expected a cell, got {type(value).__name__}"
+        )
+
+    def _form_mk_instance(self, form: Form, env: Environment) -> Node:
+        if len(form) != 3:
+            raise EvalError(f"line {form.line}: mk_instance needs variable and cell")
+        cell = self._resolve_cell(self.eval(form[2], env), form.line)
+        node = self.rsg.mk_instance(cell)
+        env.bind(self._assign_target(form[1], env), node)
+        return node
+
+    def _form_connect(self, form: Form, env: Environment) -> Node:
+        if len(form) != 4:
+            raise EvalError(
+                f"line {form.line}: connect needs two nodes and an interface number"
+            )
+        source = self.eval(form[1], env)
+        target = self.eval(form[2], env)
+        index = self.eval(form[3], env)
+        if not isinstance(source, Node) or not isinstance(target, Node):
+            raise EvalError(f"line {form.line}: connect arguments must be instances")
+        if not isinstance(index, int):
+            raise EvalError(f"line {form.line}: interface number must be an integer")
+        return self.rsg.connect(source, target, index)
+
+    def _form_mk_cell(self, form: Form, env: Environment) -> CellDefinition:
+        if len(form) != 3:
+            raise EvalError(f"line {form.line}: mk_cell needs a name and a node")
+        name = self.eval(form[1], env)
+        if not isinstance(name, str):
+            raise EvalError(f"line {form.line}: cell name must be a string")
+        root = self.eval(form[2], env)
+        if not isinstance(root, Node):
+            raise EvalError(f"line {form.line}: mk_cell root must be an instance")
+        return self.rsg.mk_cell(name, root)
+
+    def _form_declare_interface(self, form: Form, env: Environment) -> Any:
+        if len(form) != 7:
+            raise EvalError(
+                f"line {form.line}: declare_interface needs"
+                " cellC cellD newindex instA instB existingindex"
+            )
+        cell_c = self._resolve_cell(self.eval(form[1], env), form.line)
+        cell_d = self._resolve_cell(self.eval(form[2], env), form.line)
+        new_index = self.eval(form[3], env)
+        inst_a = self.eval(form[4], env)
+        inst_b = self.eval(form[5], env)
+        existing_index = self.eval(form[6], env)
+        if not isinstance(new_index, int) or not isinstance(existing_index, int):
+            raise EvalError(f"line {form.line}: interface numbers must be integers")
+        if not isinstance(inst_a, (Node, Instance)) or not isinstance(
+            inst_b, (Node, Instance)
+        ):
+            raise EvalError(
+                f"line {form.line}: declare_interface subcells must be instances"
+            )
+        return self.rsg.declare_interface(
+            cell_c, cell_d, new_index, inst_a, inst_b, existing_index
+        )
+
+    # ------------------------------------------------------------------
+    # Special forms: I/O
+    # ------------------------------------------------------------------
+    def _form_print(self, form: Form, env: Environment) -> Any:
+        value: Any = None
+        for statement in form.items[1:]:
+            value = self.eval(statement, env)
+            self.output.append(value)
+        return value
+
+    def _form_read(self, form: Form, env: Environment) -> Any:
+        if not self.input_queue:
+            raise EvalError(f"line {form.line}: read with empty input queue")
+        return self.input_queue.pop(0)

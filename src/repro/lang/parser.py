@@ -1,0 +1,115 @@
+"""Recursive-descent parser for the design-file language (Appendix A).
+
+Produces the AST of :mod:`repro.lang.ast_nodes`.  The only syntax beyond
+plain S-expressions is the dot operator: ``name.stmt`` and
+``name.stmt.stmt`` parse to :class:`IndexedVar` with one or two index
+statements, where each index statement is an atom or a parenthesised
+form, e.g. ``l.(- i 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.errors import ParseError
+from .ast_nodes import Form, IndexedVar, Statement, Symbol
+from .tokens import Token, tokenize
+
+__all__ = ["parse_program", "parse_statement"]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> Optional[Token]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def parse_statement(self) -> Statement:
+        token = self.next()
+        if token.kind == "int":
+            return self._maybe_indexed(int(token.text), token)
+        if token.kind == "string":
+            return token.text
+        if token.kind == "symbol":
+            return self._maybe_indexed(Symbol(token.text, token.line), token)
+        if token.kind == "lparen":
+            items: List[Statement] = []
+            while True:
+                look = self.peek()
+                if look is None:
+                    raise ParseError(
+                        f"line {token.line}: unterminated form opened here"
+                    )
+                if look.kind == "rparen":
+                    self.next()
+                    break
+                items.append(self.parse_statement())
+            return Form(items, token.line)
+        if token.kind == "rparen":
+            raise ParseError(f"line {token.line}: unexpected ')'")
+        raise ParseError(f"line {token.line}: unexpected token {token.text!r}")
+
+    def _maybe_indexed(self, atom, token: Token) -> Statement:
+        """Attach ``.index`` suffixes to a symbol (or reject them on ints)."""
+        look = self.peek()
+        if look is None or look.kind != "dot":
+            return atom
+        if not isinstance(atom, Symbol):
+            raise ParseError(
+                f"line {token.line}: only variables can be indexed with '.'"
+            )
+        indices: List[Statement] = []
+        while True:
+            look = self.peek()
+            if look is None or look.kind != "dot":
+                break
+            self.next()  # consume the dot
+            indices.append(self._parse_index())
+            if len(indices) > 2:
+                raise ParseError(
+                    f"line {token.line}: at most two indices are supported"
+                )
+        return IndexedVar(atom.name, indices, token.line)
+
+    def _parse_index(self) -> Statement:
+        """An index is an atom or a parenthesised form (no nested dots)."""
+        token = self.next()
+        if token.kind == "int":
+            return int(token.text)
+        if token.kind == "symbol":
+            return Symbol(token.text, token.line)
+        if token.kind == "lparen":
+            self.position -= 1
+            return self.parse_statement()
+        raise ParseError(
+            f"line {token.line}: bad index token {token.text!r} after '.'"
+        )
+
+
+def parse_program(text: str) -> List[Statement]:
+    """Parse design-file text into a list of top-level statements."""
+    parser = _Parser(tokenize(text))
+    program: List[Statement] = []
+    while parser.peek() is not None:
+        program.append(parser.parse_statement())
+    return program
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse a single statement; raises if trailing input remains."""
+    parser = _Parser(tokenize(text))
+    statement = parser.parse_statement()
+    if parser.peek() is not None:
+        raise ParseError("trailing input after statement")
+    return statement

@@ -1,0 +1,84 @@
+"""Port-level connectivity extraction (the EXCL substitute).
+
+The paper verified generated multiplier layouts with EXCL circuit
+extraction.  Our cells carry named ports; when the RSG places two
+instances so that ports coincide (same position, compatible layer), the
+signals are connected.  This module extracts that port graph from a
+placed hierarchy and reports nets — enough to check that interfaces
+really carry the connectivity the architecture intends (e.g. each cell's
+``sout`` lands on its lower neighbour's ``sin``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.cell import CellDefinition, Port
+from ..geometry import Transform, Vec2
+
+__all__ = ["PortNetlist", "extract_ports"]
+
+
+class PortNetlist:
+    """Flattened ports grouped into nets by coincidence."""
+
+    def __init__(self) -> None:
+        #: hierarchical port name -> position
+        self.ports: Dict[str, Vec2] = {}
+        #: net id -> sorted list of hierarchical port names
+        self.nets: List[List[str]] = []
+
+    def net_of(self, port_name: str) -> Optional[int]:
+        for index, net in enumerate(self.nets):
+            if port_name in net:
+                return index
+        return None
+
+    def connected(self, a: str, b: str) -> bool:
+        """True when ports a and b share a net."""
+        net = self.net_of(a)
+        return net is not None and b in self.nets[net]
+
+    def multi_terminal_nets(self) -> List[List[str]]:
+        return [net for net in self.nets if len(net) >= 2]
+
+    def dangling_ports(self) -> List[str]:
+        """Ports alone on their net (unconnected terminals)."""
+        return [net[0] for net in self.nets if len(net) == 1]
+
+    def __repr__(self) -> str:
+        return (
+            f"PortNetlist({len(self.ports)} ports,"
+            f" {len(self.multi_terminal_nets())} connected nets)"
+        )
+
+
+def extract_ports(cell: CellDefinition) -> PortNetlist:
+    """Extract the coincidence port netlist of a placed hierarchy.
+
+    Ports connect when they occupy the same grid point and either share
+    a layer or at least one of them is layerless.
+    """
+    netlist = PortNetlist()
+    by_position: Dict[Tuple[int, int], List[Tuple[str, str]]] = defaultdict(list)
+    for port in cell.flatten_ports(Transform()):
+        netlist.ports[port.name] = port.position
+        by_position[(port.position.x, port.position.y)].append(
+            (port.name, port.layer)
+        )
+    for _, items in sorted(by_position.items()):
+        # Partition by layer compatibility: layerless ports join any group.
+        groups: Dict[str, List[str]] = defaultdict(list)
+        wildcards: List[str] = []
+        for name, layer in items:
+            if layer:
+                groups[layer].append(name)
+            else:
+                wildcards.append(name)
+        if groups:
+            for layer, names in sorted(groups.items()):
+                netlist.nets.append(sorted(names + wildcards))
+        else:
+            netlist.nets.append(sorted(wildcards))
+    return netlist

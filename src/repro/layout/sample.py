@@ -1,0 +1,240 @@
+"""Sample-layout files: the graphical half of the design (section 2.3).
+
+A sample layout supplies (a) the definitions of all primitive cells and
+(b) interfaces between them, *by example*: calling two cells together in
+a higher-order example cell with the appropriate relative placement
+defines an interface.  A numerical label placed in the overlap region
+names the interface index (paper Figure 5.5).
+
+File format (line oriented, ``#`` comments)::
+
+    cell <name>
+      box <layer> <xmin> <ymin> <xmax> <ymax>
+      port <name> <x> <y> [layer]
+    end
+
+    example [<name>]
+      inst <cellname> <x> <y> <orientation>
+      inst <cellname> <x> <y> <orientation>
+      label <index> <x> <y>
+    end
+
+Within an ``example`` block each ``label`` declares one interface.  The
+pair of instances it refers to are those whose bounding boxes contain the
+label point; when more than two qualify, the two *earliest listed* are
+taken.  The earlier-listed instance of the pair is the **reference
+instance** (the paper's A1 of Figure 3.7) — this is the graphical
+discrimination section 3.4 calls for, made deterministic by listing
+order.  If the label point is ambiguous (fewer than two containing
+instances and not exactly two instances in the block), a
+:class:`~repro.core.errors.ParseError` is raised.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, TextIO, Tuple, Union
+
+from ..core.cell import CellDefinition, Instance
+from ..core.errors import ParseError
+from ..core.interface import derive_interface
+from ..core.operators import Rsg
+from ..geometry import Orientation, Vec2
+
+__all__ = ["load_sample", "loads_sample", "dump_sample", "SampleSummary"]
+
+
+class SampleSummary:
+    """What a sample layout contributed to the workspace."""
+
+    def __init__(self) -> None:
+        self.cells: List[str] = []
+        self.interfaces: List[Tuple[str, str, int]] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"SampleSummary(cells={len(self.cells)},"
+            f" interfaces={len(self.interfaces)})"
+        )
+
+
+def _parse_int(token: str, line_number: int) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise ParseError(f"line {line_number}: expected integer, got {token!r}") from None
+
+
+def _instances_containing(
+    instances: List[Instance], point: Vec2
+) -> List[Instance]:
+    hits = []
+    for instance in instances:
+        bbox = instance.bounding_box()
+        if bbox is not None and bbox.contains_point(point):
+            hits.append(instance)
+    return hits
+
+
+def loads_sample(text: str, rsg: Rsg, replace: bool = False) -> SampleSummary:
+    """Parse sample-layout text into the workspace (see module docstring)."""
+    return load_sample(io.StringIO(text), rsg, replace=replace)
+
+
+def load_sample(stream: Union[TextIO, str], rsg: Rsg, replace: bool = False) -> SampleSummary:
+    """Load a sample layout from a file path or text stream into ``rsg``.
+
+    Primitive cells go into the cell table; each example-block label adds
+    an interface to the interface table.  Returns a summary.
+    """
+    if isinstance(stream, str):
+        with open(stream, "r", encoding="utf-8") as handle:
+            return load_sample(handle, rsg, replace=replace)
+
+    summary = SampleSummary()
+    current: Optional[CellDefinition] = None
+    in_example = False
+    example_instances: List[Instance] = []
+    example_labels: List[Tuple[int, Vec2, int]] = []
+    example_count = 0
+
+    def finish_example(line_number: int) -> None:
+        nonlocal example_instances, example_labels
+        if not example_labels:
+            raise ParseError(
+                f"line {line_number}: example block declares no interface labels"
+            )
+        for index, point, label_line in example_labels:
+            hits = _instances_containing(example_instances, point)
+            if len(hits) >= 2:
+                ref, other = hits[0], hits[1]
+            elif len(example_instances) == 2:
+                ref, other = example_instances
+            else:
+                raise ParseError(
+                    f"line {label_line}: interface label {index} at"
+                    f" ({point.x}, {point.y}) does not identify two instances"
+                )
+            interface = derive_interface(
+                ref.location, ref.orientation, other.location, other.orientation
+            )
+            rsg.interfaces.declare(
+                ref.celltype, other.celltype, index, interface, replace=replace
+            )
+            summary.interfaces.append((ref.celltype, other.celltype, index))
+        example_instances = []
+        example_labels = []
+
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0].lower()
+
+        if keyword == "cell":
+            if current is not None or in_example:
+                raise ParseError(f"line {line_number}: nested block")
+            if len(tokens) != 2:
+                raise ParseError(f"line {line_number}: cell needs exactly one name")
+            current = rsg.define_cell(tokens[1], replace=replace)
+            summary.cells.append(tokens[1])
+        elif keyword == "example":
+            if current is not None or in_example:
+                raise ParseError(f"line {line_number}: nested block")
+            in_example = True
+            example_count += 1
+        elif keyword == "end":
+            if current is not None:
+                current = None
+            elif in_example:
+                finish_example(line_number)
+                in_example = False
+            else:
+                raise ParseError(f"line {line_number}: end outside a block")
+        elif keyword == "box":
+            if current is None:
+                raise ParseError(f"line {line_number}: box outside a cell block")
+            if len(tokens) != 6:
+                raise ParseError(f"line {line_number}: box needs layer + 4 coords")
+            current.add_box(
+                tokens[1],
+                *(_parse_int(token, line_number) for token in tokens[2:6]),
+            )
+        elif keyword == "port":
+            if current is None:
+                raise ParseError(f"line {line_number}: port outside a cell block")
+            if len(tokens) not in (4, 5):
+                raise ParseError(f"line {line_number}: port needs name x y [layer]")
+            layer = tokens[4] if len(tokens) == 5 else ""
+            current.add_port(
+                tokens[1],
+                _parse_int(tokens[2], line_number),
+                _parse_int(tokens[3], line_number),
+                layer,
+            )
+        elif keyword == "inst":
+            if not in_example:
+                raise ParseError(f"line {line_number}: inst outside an example block")
+            if len(tokens) != 5:
+                raise ParseError(f"line {line_number}: inst needs cell x y orientation")
+            definition = rsg.cells.lookup(tokens[1])
+            try:
+                orientation = Orientation.from_name(tokens[4])
+            except ValueError as exc:
+                raise ParseError(f"line {line_number}: {exc}") from None
+            instance = Instance(
+                definition,
+                Vec2(
+                    _parse_int(tokens[2], line_number),
+                    _parse_int(tokens[3], line_number),
+                ),
+                orientation,
+            )
+            example_instances.append(instance)
+        elif keyword == "label":
+            if not in_example:
+                raise ParseError(f"line {line_number}: label outside an example block")
+            if len(tokens) != 4:
+                raise ParseError(f"line {line_number}: label needs index x y")
+            example_labels.append(
+                (
+                    _parse_int(tokens[1], line_number),
+                    Vec2(
+                        _parse_int(tokens[2], line_number),
+                        _parse_int(tokens[3], line_number),
+                    ),
+                    line_number,
+                )
+            )
+        else:
+            raise ParseError(f"line {line_number}: unknown keyword {keyword!r}")
+
+    if current is not None or in_example:
+        raise ParseError("unterminated block at end of file")
+    return summary
+
+
+def dump_sample(rsg: Rsg, cell_names: List[str]) -> str:
+    """Serialise primitive cells back to sample-file syntax.
+
+    Interfaces are not round-tripped (they would need example blocks with
+    synthetic placements); this is the cell-library half only, used when
+    emitting a *new* sample layout after leaf-cell compaction
+    (section 6.3).
+    """
+    lines: List[str] = []
+    for name in cell_names:
+        cell = rsg.cells.lookup(name)
+        lines.append(f"cell {cell.name}")
+        for layer_box in cell.boxes:
+            box = layer_box.box
+            lines.append(
+                f"  box {layer_box.layer} {box.xmin} {box.ymin} {box.xmax} {box.ymax}"
+            )
+        for port in cell.ports:
+            suffix = f" {port.layer}" if port.layer else ""
+            lines.append(f"  port {port.name} {port.position.x} {port.position.y}{suffix}")
+        lines.append("end")
+        lines.append("")
+    return "\n".join(lines)

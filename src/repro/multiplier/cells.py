@@ -1,0 +1,275 @@
+"""The multiplier leaf-cell library as a sample layout (Figures 5.3/5.5).
+
+The paper's cells are nMOS layouts drawn in HPEDIT (Appendices D/E);
+here they are synthetic equivalents with the same structural roles:
+
+* ``basiccell`` — 20x20 lambda, input inverters/full-adder geometry
+  abstracted to buses and an active area, with sum/carry ports;
+* mask cells (``type1``, ``type2``, clock masks ``phi1_1..phi1_4`` and
+  ``phi2_1..phi2_4``, carry-interface masks ``car1``/``car2``) — small
+  cells that land *inside* the basic cell's bounding box, exactly the
+  personalisation-by-superposition mechanism of section 2.3;
+* ``reg`` — a 20x8 register cell for the peripheral skew stacks;
+* direction masks ``goboth``/``goin``/``goout``/``sgoin``/``sgoout`` for
+  the bidirectional right-edge register stacks of Appendix B.
+
+Every interface the design file uses is defined *by example* in the
+sample text: two instances called together plus a numeric label
+(Figure 5.5's "one merely provides an example of the interface").
+"""
+
+from __future__ import annotations
+
+from ..core.operators import Rsg
+from ..layout.sample import loads_sample
+
+__all__ = [
+    "MULTIPLIER_SAMPLE",
+    "load_multiplier_library",
+    "CELL_PITCH",
+    "REG_PITCH",
+]
+
+CELL_PITCH = 20
+REG_PITCH = 8
+
+MULTIPLIER_SAMPLE = """\
+# Multiplier leaf-cell library (sample layout).
+# Cells first, then interfaces by example.
+
+cell basiccell
+  box metal1 0 16 20 18      # sum bus
+  box metal1 0 8 20 10       # carry bus
+  box poly 4 0 6 20          # multiplicand bit column
+  box poly 14 0 16 20        # multiplier bit column
+  box diff 8 2 12 14         # full-adder active area
+  port sin 10 20 metal1
+  port sout 10 0 metal1
+  port cin 20 9 metal1
+  port cout 0 9 metal1
+end
+
+cell type1
+  box implant 0 0 2 2
+end
+
+cell type2
+  box implant 0 0 2 2
+end
+
+cell phi1_1
+  box contact 0 0 2 2
+end
+cell phi1_2
+  box contact 0 0 2 2
+end
+cell phi1_3
+  box contact 0 0 2 2
+end
+cell phi1_4
+  box contact 0 0 2 2
+end
+cell phi2_1
+  box contact 0 0 2 2
+end
+cell phi2_2
+  box contact 0 0 2 2
+end
+cell phi2_3
+  box contact 0 0 2 2
+end
+cell phi2_4
+  box contact 0 0 2 2
+end
+
+cell car1
+  box contact 0 0 2 2
+end
+cell car2
+  box contact 0 0 2 2
+end
+
+cell reg
+  box metal1 0 3 20 5
+  box poly 9 0 11 8
+  port din 10 0 poly
+  port dout 10 8 poly
+end
+
+cell goboth
+  box marker 0 0 2 2
+end
+cell goin
+  box marker 0 0 2 2
+end
+cell goout
+  box marker 0 0 2 2
+end
+cell sgoin
+  box marker 0 0 2 2
+end
+cell sgoout
+  box marker 0 0 2 2
+end
+
+# ---- interfaces by example -------------------------------------------
+
+# 1: basiccell beside basiccell (horizontal array pitch)
+example
+  inst basiccell 0 0 north
+  inst basiccell 20 0 north
+  label 1 20 10
+end
+
+# 2: basiccell below basiccell (vertical array pitch, rows grow downward)
+example
+  inst basiccell 0 0 north
+  inst basiccell 0 -20 north
+  label 2 10 0
+end
+
+# type masks sit inside the basic cell
+example
+  inst basiccell 0 0 north
+  inst type1 7 3 north
+  label 1 8 4
+end
+example
+  inst basiccell 0 0 north
+  inst type2 11 3 north
+  label 1 12 4
+end
+
+# clock masks: phi1 set at the cell corners, phi2 set shifted inward
+example
+  inst basiccell 0 0 north
+  inst phi1_1 1 1 north
+  label 1 2 2
+end
+example
+  inst basiccell 0 0 north
+  inst phi1_2 1 17 north
+  label 1 2 18
+end
+example
+  inst basiccell 0 0 north
+  inst phi1_3 17 1 north
+  label 1 18 2
+end
+example
+  inst basiccell 0 0 north
+  inst phi1_4 17 17 north
+  label 1 18 18
+end
+example
+  inst basiccell 0 0 north
+  inst phi2_1 3 1 north
+  label 1 4 2
+end
+example
+  inst basiccell 0 0 north
+  inst phi2_2 3 17 north
+  label 1 4 18
+end
+example
+  inst basiccell 0 0 north
+  inst phi2_3 15 1 north
+  label 1 16 2
+end
+example
+  inst basiccell 0 0 north
+  inst phi2_4 15 17 north
+  label 1 16 18
+end
+
+# carry-interface masks on the carry bus
+example
+  inst basiccell 0 0 north
+  inst car1 0 11 north
+  label 1 1 12
+end
+example
+  inst basiccell 0 0 north
+  inst car2 0 5 north
+  label 1 1 6
+end
+
+# register beside register (horizontal chain)
+example
+  inst reg 0 0 north
+  inst reg 20 0 north
+  label 1 20 4
+end
+# register stacked upward (top skew stacks)
+example
+  inst reg 0 0 north
+  inst reg 0 8 north
+  label 2 10 8
+end
+# register stacked downward (bottom deskew stacks)
+example
+  inst reg 0 0 north
+  inst reg 0 -8 north
+  label 3 10 0
+end
+# register rows at the array's vertical pitch (right-edge rows); the
+# cells do not abut — interfaces carry the placement, not bounding boxes
+example
+  inst reg 0 0 north
+  inst reg 0 -20 north
+  label 4 10 0
+end
+
+# basic cell to register: above (1), below (2), and to the right (3) —
+# a family of interfaces between the same cell pair (Figure 2.3)
+example
+  inst basiccell 0 0 north
+  inst reg 0 20 north
+  label 1 10 20
+end
+example
+  inst basiccell 0 0 north
+  inst reg 0 -8 north
+  label 2 10 0
+end
+example
+  inst basiccell 0 0 north
+  inst reg 20 0 north
+  label 3 20 4
+end
+
+# direction masks on the register cell
+example
+  inst reg 0 0 north
+  inst goboth 9 3 north
+  label 1 10 4
+end
+example
+  inst reg 0 0 north
+  inst goin 9 3 north
+  label 1 10 4
+end
+example
+  inst reg 0 0 north
+  inst goout 9 3 north
+  label 1 10 4
+end
+example
+  inst reg 0 0 north
+  inst sgoin 9 3 north
+  label 1 10 4
+end
+example
+  inst reg 0 0 north
+  inst sgoout 9 3 north
+  label 1 10 4
+end
+"""
+
+
+def load_multiplier_library(rsg: Rsg = None) -> Rsg:
+    """Load the multiplier leaf-cell sample into a workspace."""
+    if rsg is None:
+        rsg = Rsg()
+    loads_sample(MULTIPLIER_SAMPLE, rsg)
+    return rsg

@@ -1,0 +1,319 @@
+"""The multiplier design file and parameter file (Appendices B and C).
+
+``DESIGN_FILE`` is a cleaned-up transcription of Appendix B in this
+reproduction's design-file language: ``mcell`` personalises a basic cell
+(type mask by array position, clock masks by column parity, carry mask by
+row), ``mline``/``m2darray`` build the inner array hierarchically,
+``mstack``/``mrow``/``mtopregs``/``mbottomregs``/``mrightregs`` build the
+peripheral register stacks, ``assdirection`` assigns the bidirectional
+register masks, and ``mall`` assembles everything through inherited
+interfaces — with "absolutely no need to enter the graphics domain".
+
+``PARAMETER_FILE`` mirrors Appendix C: interface index numbers, the
+design-file-to-sample-layout name personalisation (``corecell =
+basiccell``), and the size parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.cell import CellDefinition
+from ..core.operators import Rsg
+from ..lang.interpreter import Interpreter
+from ..lang.param_file import parse_parameters
+from .cells import load_multiplier_library
+
+__all__ = ["DESIGN_FILE", "PARAMETER_FILE", "generate_via_language"]
+
+DESIGN_FILE = """\
+; Pipelined array multiplier design file (after Appendix B).
+
+(macro mcell (xsize ysize xloc yloc)
+  (locals c temp)
+  (mk_instance c corecell)
+  ; Cell type personalisation: type II on the outer column and the last
+  ; carry-save row, except their shared corner; the carry-propagate row
+  ; (yloc = ysize + 1) is all type I.
+  (cond ((= (+ ysize 1) yloc) (connect c (mk_instance temp typei) t1inum))
+        ((= xsize xloc)
+         (cond ((= ysize yloc) (connect c (mk_instance temp typei) t1inum))
+               (true (connect c (mk_instance temp typeii) t2inum))))
+        (true
+         (cond ((= ysize yloc) (connect c (mk_instance temp typeii) t2inum))
+               (true (connect c (mk_instance temp typei) t1inum)))))
+  ; Clock assignment by column parity: four masks per cell.
+  (cond ((= (mod xloc 2) 0)
+         (prog (connect c (mk_instance temp clk1a) clk1inum)
+               (connect c (mk_instance temp clk1b) clk1inum)
+               (connect c (mk_instance temp clk1c) clk1inum)
+               (connect c (mk_instance temp clk1d) clk1inum)))
+        (true
+         (prog (connect c (mk_instance temp clk2a) clk2inum)
+               (connect c (mk_instance temp clk2b) clk2inum)
+               (connect c (mk_instance temp clk2c) clk2inum)
+               (connect c (mk_instance temp clk2d) clk2inum))))
+  ; Carry-interface personalisation.
+  (cond ((= yloc ysize) (connect c (mk_instance temp carii) car2inum))
+        ((= yloc (+ ysize 1))
+         (cond ((= xloc xsize) (connect c (mk_instance temp cari) car1inum))
+               (true (connect c (mk_instance temp carii) car2inum))))
+        (true (connect c (mk_instance temp cari) car1inum))))
+
+(macro mline (xsize ysize currentline)
+  (locals ref)
+  (assign l.1 (mcell xsize ysize 1 currentline))
+  (setq ref (subcell l.1 c))
+  (do (i 2 (+ 1 i) (> i xsize))
+    (assign l.i (mcell xsize ysize i currentline))
+    (connect (subcell l.(- i 1) c) (subcell l.i c) hinum)))
+
+(macro m2darray (xsize ysize)
+  (locals topright bottomright rowend)
+  (assign cl.1 (mline xsize ysize 1))
+  (setq topright (subcell cl.1 ref))
+  (do (i 2 (+ 1 i) (> i (+ ysize 1)))
+    (assign cl.i (mline xsize ysize i))
+    (connect (subcell cl.(- i 1) ref) (subcell cl.i ref) vinum))
+  (setq bottomright (subcell cl.(+ ysize 1) ref))
+  (setq rowend (subcell (subcell cl.1 l.xsize) c))
+  (mk_cell mularrayname topright))
+
+; A vertical stack of `count` registers; `base` is the array-adjacent
+; register, `top` the outermost.
+(macro mstack (count dirnum)
+  (locals base top)
+  (mk_instance s.1 regcell)
+  (setq base s.1)
+  (setq top s.1)
+  (do (i 2 (+ 1 i) (> i count))
+    (mk_instance s.i regcell)
+    (connect s.(- i 1) s.i dirnum)
+    (setq top s.i)))
+
+; A horizontal row of `count` registers; `base` is the leftmost.
+(macro mrow (count)
+  (locals base)
+  (mk_instance s.1 regcell)
+  (setq base s.1)
+  (do (i 2 (+ 1 i) (> i count))
+    (mk_instance s.i regcell)
+    (connect s.(- i 1) s.i reghnum)))
+
+(macro mtopregs (xsize)
+  (locals ref)
+  (assign stk.1 (mstack 1 regupnum))
+  (setq ref (subcell stk.1 base))
+  (do (i 2 (+ 1 i) (> i xsize))
+    (assign stk.i (mstack i regupnum))
+    (connect (subcell stk.(- i 1) base) (subcell stk.i base) reghnum))
+  (mk_cell topregisters ref))
+
+(macro mbottomregs (xsize)
+  (locals ref)
+  (assign stk.1 (mstack xsize regdownnum))
+  (setq ref (subcell stk.1 base))
+  (do (i 2 (+ 1 i) (> i xsize))
+    (assign stk.i (mstack (+ (- xsize i) 1) regdownnum))
+    (connect (subcell stk.(- i 1) base) (subcell stk.i base) reghnum))
+  (mk_cell bottomregisters ref))
+
+; Direction-mask assignment for a right-edge register row (Appendix B's
+; assdirection): the first `bi` registers are bidirectional, the next is
+; a single register, the rest are double registers, where the counts
+; depend on how many signals travel inward versus outward at this row.
+(defun assdirection (rarray length regnum index)
+  (locals ins outs bi temp dcell scell)
+  (setq ins (* index 2))
+  (setq outs (- regnum ins))
+  (setq bi (min ins outs))
+  (cond ((> bi length) (setq bi length)))
+  (cond ((> ins outs) (prog (setq dcell inward) (setq scell sinward)))
+        (true (prog (setq dcell outward) (setq scell soutward))))
+  (do (i 1 (+ 1 i) (> i length))
+    (cond ((<= i bi)
+           (connect (subcell rarray s.i) (mk_instance temp bidirectional)
+                    rtoregsinum))
+          ((= i (+ bi 1))
+           (connect (subcell rarray s.i) (mk_instance temp scell)
+                    rtoregsinum))
+          (true
+           (connect (subcell rarray s.i) (mk_instance temp dcell)
+                    rtoregsinum)))))
+
+(macro mrightregs (ysize)
+  (locals ref length regnum)
+  (setq regnum (+ 1 (* 3 ysize)))
+  (setq length (// (+ regnum 1) 2))
+  (assign row.1 (mrow length))
+  (setq ref (subcell row.1 base))
+  (assdirection row.1 length regnum 1)
+  (do (i 2 (+ 1 i) (> i ysize))
+    (assign row.i (mrow length))
+    (assdirection row.i length regnum i)
+    (connect (subcell row.(- i 1) base) (subcell row.i base) regrowpitchnum))
+  (mk_cell rightregisters ref))
+
+(macro mall (xsize ysize)
+  (locals innerarray tregs bregs rregs tri arrayi bri rri)
+  (setq rregs (mrightregs ysize))
+  (setq bregs (mbottomregs xsize))
+  (setq innerarray (m2darray xsize ysize))
+  (setq tregs (mtopregs xsize))
+  (declare_interface topregistername arrayname 1
+    (subcell tregs ref) (subcell innerarray topright) celltotopreginum)
+  (connect (mk_instance tri topregistername)
+           (mk_instance arrayi arrayname) 1)
+  (declare_interface arrayname bottomregistername 1
+    (subcell innerarray bottomright) (subcell bregs ref) celltobottomreginum)
+  (connect arrayi (mk_instance bri bottomregistername) 1)
+  (declare_interface arrayname rightregistername 1
+    (subcell innerarray rowend) (subcell rregs ref) celltorightreginum)
+  (connect arrayi (mk_instance rri rightregistername) 1)
+  (mk_cell "thewholething" arrayi))
+
+(mall xsize ysize)
+"""
+
+PARAMETER_FILE = """\
+# Multiplier parameter file (after Appendix C).
+vinum=2
+hinum=1
+t1inum=1
+t2inum=1
+mularrayname="array"
+arrayname=array
+corecell=basiccell
+typei=type1
+typeii=type2
+clk1inum=1
+clk2inum=1
+clk1a=phi1_1
+clk1b=phi1_2
+clk1c=phi1_3
+clk1d=phi1_4
+clk2a=phi2_1
+clk2b=phi2_2
+clk2c=phi2_3
+clk2d=phi2_4
+cari=car1
+carii=car2
+car1inum=1
+car2inum=1
+regcell=reg
+reghnum=1
+regupnum=2
+regdownnum=3
+regrowpitchnum=4
+topregisters="topregs"
+topregistername=topregs
+bottomregisters="bottomregs"
+bottomregistername=bottomregs
+rightregisters="rightregs"
+rightregistername=rightregs
+celltotopreginum=1
+celltobottomreginum=2
+celltorightreginum=3
+rtoregsinum=1
+bidirectional=goboth
+inward=goin
+outward=goout
+sinward=sgoin
+soutward=sgoout
+xsize=6
+ysize=6
+"""
+
+
+# The retimed variant: the peripheral-stack macros read their heights
+# from the register configuration table in the parameter file
+# (indexed bindings topcount.i / bottomcount.i / rightlen.1) instead of
+# hard-coding the bit-systolic profile — the chapter-5 suggestion that
+# "the user provide a register configuration table in the parameter
+# file", with the retiming subprogram in repro.multiplier.regconfig.
+RETIMED_MACROS = """\
+(macro mtopregs (xsize)
+  (locals ref)
+  (assign stk.1 (mstack topcount.1 regupnum))
+  (setq ref (subcell stk.1 base))
+  (do (i 2 (+ 1 i) (> i xsize))
+    (assign stk.i (mstack topcount.i regupnum))
+    (connect (subcell stk.(- i 1) base) (subcell stk.i base) reghnum))
+  (mk_cell topregisters ref))
+
+(macro mbottomregs (xsize)
+  (locals ref)
+  (assign stk.1 (mstack bottomcount.1 regdownnum))
+  (setq ref (subcell stk.1 base))
+  (do (i 2 (+ 1 i) (> i xsize))
+    (assign stk.i (mstack bottomcount.i regdownnum))
+    (connect (subcell stk.(- i 1) base) (subcell stk.i base) reghnum))
+  (mk_cell bottomregisters ref))
+
+(macro mrightregs (ysize)
+  (locals ref length regnum)
+  (setq regnum (+ 1 (* 3 ysize)))
+  (setq length rightlen.1)
+  (assign row.1 (mrow length))
+  (setq ref (subcell row.1 base))
+  (assdirection row.1 length regnum 1)
+  (do (i 2 (+ 1 i) (> i ysize))
+    (assign row.i (mrow length))
+    (assdirection row.i length regnum i)
+    (connect (subcell row.(- i 1) base) (subcell row.i base) regrowpitchnum))
+  (mk_cell rightregisters ref))
+"""
+
+DESIGN_FILE_RETIMED = (
+    DESIGN_FILE.replace("(mall xsize ysize)\n", "")
+    + "\n"
+    + RETIMED_MACROS
+    + "\n(mall xsize ysize)\n"
+)
+
+
+def generate_retimed_multiplier(
+    xsize: int,
+    ysize: int,
+    beta: int = 1,
+    rsg: Optional[Rsg] = None,
+) -> Tuple[CellDefinition, Interpreter]:
+    """Generate a multiplier whose register stacks follow a register
+    configuration table computed for pipelining degree ``beta``.
+    """
+    from .regconfig import register_configuration
+
+    if rsg is None:
+        rsg = load_multiplier_library()
+    interpreter = Interpreter(rsg)
+    parameters = parse_parameters(PARAMETER_FILE)
+    parameters.bindings["xsize"] = xsize
+    parameters.bindings["ysize"] = ysize
+    configuration = register_configuration(xsize, ysize, beta)
+    parameters.bindings.update(configuration.as_parameter_bindings())
+    interpreter.set_parameters(parameters.bindings)
+    interpreter.run(DESIGN_FILE_RETIMED)
+    return rsg.cells.lookup("thewholething"), interpreter
+
+
+def generate_via_language(
+    xsize: int,
+    ysize: int,
+    rsg: Optional[Rsg] = None,
+) -> Tuple[CellDefinition, Interpreter]:
+    """Run the full RSG pipeline through the design-file language.
+
+    Loads the sample library, executes the parameter file with the given
+    size overrides, then the design file; returns the generated top cell
+    (``thewholething``) and the interpreter (whose workspace holds all
+    intermediate cells).
+    """
+    if rsg is None:
+        rsg = load_multiplier_library()
+    interpreter = Interpreter(rsg)
+    parameters = parse_parameters(PARAMETER_FILE)
+    parameters.bindings["xsize"] = xsize
+    parameters.bindings["ysize"] = ysize
+    interpreter.set_parameters(parameters.bindings)
+    interpreter.run(DESIGN_FILE)
+    return rsg.cells.lookup("thewholething"), interpreter

@@ -1,0 +1,158 @@
+"""A small structural netlist substrate for the multiplier study.
+
+Chapter 5 of the paper evaluates the RSG on pipelined array multipliers;
+the authors verified their layouts with EXCL extraction and SPICE.  We
+substitute a register-level netlist simulator: cells are combinational
+bit functions wired into a DAG, edges can carry register chains, and the
+simulator is cycle accurate.  This is the substrate both the functional
+check (does the generated array multiply?) and the retiming study
+(latency/register count versus pipelining degree beta) run on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Ref", "Cell", "Netlist"]
+
+# A signal reference: ("input", name) | ("cell", cellname) | ("const", 0|1)
+Ref = Tuple[str, object]
+
+
+class Cell:
+    """A combinational node: ``output = function(*input values)``."""
+
+    __slots__ = ("name", "function", "inputs", "kind")
+
+    def __init__(
+        self,
+        name: str,
+        function: Callable[..., int],
+        inputs: Sequence[Ref],
+        kind: str = "",
+    ) -> None:
+        self.name = name
+        self.function = function
+        self.inputs = list(inputs)
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"Cell({self.name!r}, kind={self.kind!r}, fan_in={len(self.inputs)})"
+
+
+class Netlist:
+    """A DAG of combinational cells with named primary inputs/outputs."""
+
+    def __init__(self) -> None:
+        self.cells: Dict[str, Cell] = {}
+        self.inputs: List[str] = []
+        self.outputs: Dict[str, Ref] = {}
+        self._order: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> Ref:
+        if name in self.inputs:
+            raise ValueError(f"duplicate input {name!r}")
+        self.inputs.append(name)
+        return ("input", name)
+
+    def add_cell(
+        self,
+        name: str,
+        function: Callable[..., int],
+        inputs: Sequence[Ref],
+        kind: str = "",
+    ) -> Ref:
+        if name in self.cells:
+            raise ValueError(f"duplicate cell {name!r}")
+        self.cells[name] = Cell(name, function, inputs, kind)
+        self._order = None
+        return ("cell", name)
+
+    def set_output(self, name: str, ref: Ref) -> None:
+        self.outputs[name] = ref
+
+    @staticmethod
+    def const(value: int) -> Ref:
+        return ("const", 1 if value else 0)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[str]:
+        """Cell names in dependency order; raises on combinational cycles."""
+        if self._order is not None:
+            return self._order
+        state: Dict[str, int] = {}
+        order: List[str] = []
+
+        def visit(name: str, stack: List[str]) -> None:
+            mark = state.get(name, 0)
+            if mark == 2:
+                return
+            if mark == 1:
+                raise ValueError(
+                    "combinational cycle through " + " -> ".join(stack + [name])
+                )
+            state[name] = 1
+            for kind, target in self.cells[name].inputs:
+                if kind == "cell":
+                    visit(target, stack + [name])
+            state[name] = 2
+            order.append(name)
+
+        for name in self.cells:
+            visit(name, [])
+        self._order = order
+        return order
+
+    def depths(self) -> Dict[str, int]:
+        """Combinational depth of every cell (unit delay per cell).
+
+        Primary inputs and constants have depth 0; a cell's depth is one
+        more than the maximum depth of its inputs.
+        """
+        depth: Dict[str, int] = {}
+        for name in self.topological_order():
+            best = 0
+            for kind, target in self.cells[name].inputs:
+                if kind == "cell":
+                    best = max(best, depth[target])
+            depth[name] = best + 1
+        return depth
+
+    def critical_path(self) -> int:
+        depths = self.depths()
+        return max(depths.values(), default=0)
+
+    # ------------------------------------------------------------------
+    # Combinational evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, input_values: Dict[str, int]) -> Dict[str, int]:
+        """Evaluate combinationally; returns output name -> bit."""
+        values: Dict[str, int] = {}
+
+        def fetch(ref: Ref) -> int:
+            kind, target = ref
+            if kind == "const":
+                return target  # type: ignore[return-value]
+            if kind == "input":
+                return input_values[target]  # type: ignore[index]
+            return values[target]  # type: ignore[index]
+
+        for name in self.topological_order():
+            cell = self.cells[name]
+            values[name] = cell.function(*(fetch(ref) for ref in cell.inputs))
+        return {name: fetch(ref) for name, ref in self.outputs.items()}
+
+    def count_kind(self, kind: str) -> int:
+        return sum(1 for cell in self.cells.values() if cell.kind == kind)
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist(inputs={len(self.inputs)}, cells={len(self.cells)},"
+            f" outputs={len(self.outputs)})"
+        )

@@ -1,0 +1,36 @@
+"""PLA generation: RSG-based generator plus the HPLA relocation baseline."""
+
+from .cells import CONNECT_WIDTH, PLA_PITCH, PLA_SAMPLE, load_pla_library
+from .designfile import (
+    PLA_DESIGN_FILE,
+    PLA_PARAMETER_FILE,
+    generate_pla_via_language,
+)
+from .folding import FoldingPlan, generate_folded_pla, plan_column_folding
+from .generator import extract_personality, generate_decoder, generate_pla
+from .hpla import HplaDescription, HplaGenerator, compile_description
+from .rom import generate_rom, read_rom_back, rom_table
+from .truthtable import TruthTable
+
+__all__ = [
+    "generate_rom",
+    "read_rom_back",
+    "rom_table",
+    "PLA_DESIGN_FILE",
+    "PLA_PARAMETER_FILE",
+    "generate_pla_via_language",
+    "FoldingPlan",
+    "generate_folded_pla",
+    "plan_column_folding",
+    "TruthTable",
+    "PLA_SAMPLE",
+    "load_pla_library",
+    "PLA_PITCH",
+    "CONNECT_WIDTH",
+    "generate_pla",
+    "generate_decoder",
+    "extract_personality",
+    "HplaGenerator",
+    "HplaDescription",
+    "compile_description",
+]

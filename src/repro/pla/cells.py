@@ -1,0 +1,153 @@
+"""PLA leaf-cell library as a sample layout (section 1.2.2).
+
+The cell roles follow HPLA's: AND-plane squares, OR-plane squares, the
+``connect_ao`` spacer between planes, pull-ups, input/output buffers,
+and crosspoint masks.  Note the sample contains each interface **once**
+— the paper points out HPLA's fully-assembled 2x2x2 sample carried
+redundant copies ("2 identical instances of the and-sq connect-ao
+interface when only one was required").
+"""
+
+from __future__ import annotations
+
+from ..core.operators import Rsg
+from ..layout.sample import loads_sample
+
+__all__ = ["PLA_SAMPLE", "load_pla_library", "PLA_PITCH", "CONNECT_WIDTH"]
+
+PLA_PITCH = 10
+CONNECT_WIDTH = 6
+
+PLA_SAMPLE = """\
+# PLA leaf-cell library (sample layout).
+
+cell andsq
+  box poly 0 4 10 6        # product-term row wire
+  box metal1 2 0 4 10      # true input column
+  box metal1 6 0 8 10      # complemented input column
+end
+
+cell orsq
+  box poly 0 4 10 6        # product-term row wire
+  box metal1 4 0 6 10      # output column
+end
+
+cell connectao
+  box poly 0 4 6 6         # row wire through the spacer
+end
+
+cell andpull
+  box diff 2 2 8 8         # row pull-up
+  box poly 6 4 10 6
+end
+
+cell orpull
+  box diff 2 2 8 8
+  box poly 0 4 4 6
+end
+
+cell inbuf
+  box diff 1 1 9 7         # input driver
+  box metal1 2 7 4 10
+  box metal1 6 7 8 10
+end
+
+cell outbuf
+  box diff 1 1 9 7         # output driver
+  box metal1 4 7 6 10
+end
+
+cell xtrue
+  box contact 0 0 2 2      # crosspoint on the true column
+end
+cell xfalse
+  box contact 0 0 2 2      # crosspoint on the complemented column
+end
+cell xout
+  box contact 0 0 2 2      # OR-plane crosspoint
+end
+
+# ---- interfaces by example -------------------------------------------
+
+# 1: andsq beside andsq
+example
+  inst andsq 0 0 north
+  inst andsq 10 0 north
+  label 1 10 5
+end
+
+# 1: orsq beside orsq
+example
+  inst orsq 0 0 north
+  inst orsq 10 0 north
+  label 1 10 5
+end
+
+# 1: connectao to the right of andsq; 1: orsq to the right of connectao
+example
+  inst andsq 0 0 north
+  inst connectao 10 0 north
+  label 1 10 5
+end
+example
+  inst connectao 0 0 north
+  inst orsq 6 0 north
+  label 1 6 5
+end
+
+# 1: andsq to the right of andpull; rows stack upward on the pull-up (2)
+example
+  inst andpull 0 0 north
+  inst andsq 10 0 north
+  label 1 10 5
+end
+example
+  inst andpull 0 0 north
+  inst andpull 0 10 north
+  label 2 5 10
+end
+
+# 1: orpull to the right of orsq
+example
+  inst orsq 0 0 north
+  inst orpull 10 0 north
+  label 1 10 5
+end
+
+# buffers hang below plane squares
+example
+  inst andsq 0 0 north
+  inst inbuf 0 -10 north
+  label 1 5 0
+end
+example
+  inst orsq 0 0 north
+  inst outbuf 0 -10 north
+  label 1 5 0
+end
+
+# crosspoint masks inside plane squares
+example
+  inst andsq 0 0 north
+  inst xtrue 2 4 north
+  label 1 3 5
+end
+example
+  inst andsq 0 0 north
+  inst xfalse 6 4 north
+  label 1 7 5
+end
+example
+  inst orsq 0 0 north
+  inst xout 4 4 north
+  label 1 5 5
+end
+"""
+
+
+def load_pla_library(rsg: Rsg = None) -> Rsg:
+    """Load the PLA leaf-cell sample into a workspace."""
+    if rsg is None:
+        rsg = Rsg()
+    loads_sample(PLA_SAMPLE, rsg)
+    return rsg

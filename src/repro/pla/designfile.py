@@ -1,0 +1,98 @@
+"""A PLA design file: the language path for PLA generation.
+
+The multiplier chapter exercises the design-file language; this module
+does the same for PLAs, using the encoding-table primitives
+(``table_terms`` / ``table_literal`` / ``table_output``) that mirror the
+paper's "primitives for manipulating encoding tables (such as PLA truth
+tables)".  The personality (a :class:`TruthTable`) is bound into the
+global environment like any other parameter, so the same design file
+serves every PLA — the HPLA delayed-binding convenience, recovered
+within the one-shot RSG flow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.cell import CellDefinition
+from ..core.operators import Rsg
+from ..lang.interpreter import Interpreter
+from ..lang.param_file import parse_parameters
+from .cells import load_pla_library
+from .truthtable import TruthTable
+
+__all__ = ["PLA_DESIGN_FILE", "PLA_PARAMETER_FILE", "generate_pla_via_language"]
+
+PLA_DESIGN_FILE = """\
+; PLA design file: one row per product term, crosspoints from the
+; encoding table, buffers below the bottom row.
+
+(macro mplarow (tbl term)
+  (locals pull prev spacer temp)
+  (mk_instance pull pullcell)
+  (setq prev pull)
+  (do (i 1 (+ 1 i) (> i (table_inputs tbl)))
+    (mk_instance s.i andcell)
+    (connect prev s.i 1)
+    (cond ((= (table_literal tbl term i) 1)
+           (connect s.i (mk_instance temp truecross) 1))
+          ((= (table_literal tbl term i) 0)
+           (connect s.i (mk_instance temp falsecross) 1)))
+    (setq prev s.i))
+  (mk_instance spacer spacercell)
+  (connect prev spacer 1)
+  (setq prev spacer)
+  (do (j 1 (+ 1 j) (> j (table_outputs tbl)))
+    (mk_instance o.j orcell)
+    (connect prev o.j 1)
+    (cond ((= (table_output tbl term j) 1)
+           (connect o.j (mk_instance temp outcross) 1)))
+    (setq prev o.j))
+  (connect prev (mk_instance temp orpullcell) 1))
+
+(macro mpla (tbl)
+  (locals temp)
+  (assign r.1 (mplarow tbl 1))
+  (do (t 2 (+ 1 t) (> t (table_terms tbl)))
+    (assign r.t (mplarow tbl t))
+    (connect (subcell r.(- t 1) pull) (subcell r.t pull) 2))
+  (do (i 1 (+ 1 i) (> i (table_inputs tbl)))
+    (connect (subcell r.1 s.i) (mk_instance temp inbufcell) 1))
+  (do (j 1 (+ 1 j) (> j (table_outputs tbl)))
+    (connect (subcell r.1 o.j) (mk_instance temp outbufcell) 1))
+  (mk_cell planame (subcell r.1 pull)))
+
+(mpla platable)
+"""
+
+PLA_PARAMETER_FILE = """\
+# PLA parameter file: design-file names -> sample-layout cell names.
+pullcell=andpull
+andcell=andsq
+spacercell=connectao
+orcell=orsq
+orpullcell=orpull
+truecross=xtrue
+falsecross=xfalse
+outcross=xout
+inbufcell=inbuf
+outbufcell=outbuf
+planame="pla"
+"""
+
+
+def generate_pla_via_language(
+    table: TruthTable,
+    rsg: Optional[Rsg] = None,
+    name: str = "pla",
+) -> Tuple[CellDefinition, Interpreter]:
+    """Generate a PLA through the design-file language front end."""
+    if rsg is None:
+        rsg = load_pla_library()
+    interpreter = Interpreter(rsg)
+    parameters = parse_parameters(PLA_PARAMETER_FILE)
+    parameters.bindings["planame"] = name
+    interpreter.set_parameters(parameters.bindings)
+    interpreter.set_parameter("platable", table)
+    interpreter.run(PLA_DESIGN_FILE)
+    return rsg.cells.lookup(name), interpreter

@@ -1,0 +1,135 @@
+"""Tests for the Baugh-Wooley multiplier netlist (chapter 5, Figure 5.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.multiplier import (
+    build_baugh_wooley,
+    cell_type_grid,
+    from_bits,
+    multiply,
+    reference_product,
+    to_bits,
+    to_signed,
+)
+
+
+class TestBitHelpers:
+    def test_to_signed(self):
+        assert to_signed(0b1111, 4) == -1
+        assert to_signed(0b0111, 4) == 7
+        assert to_signed(0b1000, 4) == -8
+
+    def test_to_bits_round_trip(self):
+        for value in range(-8, 8):
+            assert to_signed(from_bits(to_bits(value, 4)), 4) == value
+
+    @given(st.integers(-128, 127))
+    def test_round_trip_8bit(self, value):
+        assert to_signed(from_bits(to_bits(value, 8)), 8) == value
+
+
+class TestCellTypeGrid:
+    def test_type_ii_count(self):
+        """(m-1) + (n-1) type II cells — the edge personalisation."""
+        for m, n in [(2, 2), (4, 4), (3, 6)]:
+            grid = cell_type_grid(m, n)
+            count = sum(row.count("II") for row in grid)
+            assert count == (m - 1) + (n - 1)
+
+    def test_corner_is_type_i(self):
+        """The sign-sign corner is type I ('except for the cell at the
+        lower left corner')."""
+        grid = cell_type_grid(4, 4)
+        assert grid[3][3] == "I"
+
+    def test_edges_are_type_ii(self):
+        grid = cell_type_grid(4, 4)
+        assert grid[0][3] == "II"  # sign column, non-sign row
+        assert grid[3][0] == "II"  # sign row, non-sign column
+        assert grid[0][0] == "I"
+
+
+class TestCombinationalCorrectness:
+    @pytest.mark.parametrize("m,n", [(2, 2), (3, 3), (4, 4), (2, 5), (5, 2), (3, 4)])
+    def test_exhaustive(self, m, n):
+        net = build_baugh_wooley(m, n)
+        for a in range(-(1 << (m - 1)), 1 << (m - 1)):
+            for b in range(-(1 << (n - 1)), 1 << (n - 1)):
+                assert multiply(net, a, b, m, n) == reference_product(a, b, m, n)
+
+    @given(st.integers(-128, 127), st.integers(-128, 127))
+    @settings(max_examples=60, deadline=None)
+    def test_random_8x8(self, a, b):
+        net = _NET8
+        assert multiply(net, a, b, 8, 8) == reference_product(a, b, 8, 8)
+
+    def test_extremes_16x16(self):
+        net = build_baugh_wooley(16, 16)
+        for a in (-32768, -1, 0, 1, 32767):
+            for b in (-32768, -1, 0, 1, 32767):
+                assert multiply(net, a, b, 16, 16) == reference_product(a, b, 16, 16)
+
+
+_NET8 = build_baugh_wooley(8, 8)
+
+
+class TestStructure:
+    def test_cell_counts(self):
+        net = build_baugh_wooley(4, 6)
+        # 4*6 carry-save positions: one sum + one carry cell each.
+        assert net.count_kind("csI") + net.count_kind("csII") == 24
+        assert net.count_kind("cpa") == 4
+        assert net.count_kind("pp") == 24
+
+    def test_type_ii_matches_grid(self):
+        net = build_baugh_wooley(5, 7)
+        assert net.count_kind("csII") == (5 - 1) + (7 - 1)
+
+    def test_output_width(self):
+        net = build_baugh_wooley(6, 4)
+        assert sorted(net.outputs) == sorted(f"p{k}" for k in range(10))
+
+    def test_critical_path_grows_linearly(self):
+        # n carry-save rows + m CPA ripple cells + the AND-gate level.
+        assert build_baugh_wooley(4, 4).critical_path() == 9
+        assert build_baugh_wooley(8, 8).critical_path() == 17
+
+    def test_rejects_tiny_widths(self):
+        with pytest.raises(ValueError):
+            build_baugh_wooley(1, 4)
+
+    def test_no_combinational_cycles(self):
+        net = build_baugh_wooley(6, 6)
+        order = net.topological_order()
+        assert len(order) == len(net.cells)
+
+
+class TestNetlistSubstrate:
+    def test_duplicate_names_rejected(self):
+        from repro.multiplier import Netlist
+
+        net = Netlist()
+        net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_input("a")
+        net.add_cell("c", lambda: 0, [])
+        with pytest.raises(ValueError):
+            net.add_cell("c", lambda: 0, [])
+
+    def test_cycle_detection(self):
+        from repro.multiplier import Netlist
+
+        net = Netlist()
+        net.add_cell("x", lambda v: v, [("cell", "y")])
+        net.add_cell("y", lambda v: v, [("cell", "x")])
+        with pytest.raises(ValueError):
+            net.topological_order()
+
+    def test_const_inputs(self):
+        from repro.multiplier import Netlist
+
+        net = Netlist()
+        net.add_cell("one", lambda v: v, [Netlist.const(1)])
+        net.set_output("o", ("cell", "one"))
+        assert net.evaluate({})["o"] == 1

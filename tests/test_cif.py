@@ -1,0 +1,106 @@
+"""Tests for CIF output and input (section 4.5)."""
+
+import pytest
+
+from repro.core import CellDefinition, Rsg
+from repro.geometry import ALL_ORIENTATIONS, EAST, FLIP_NORTH, NORTH, SOUTH, Vec2
+from repro.layout import cif_text, flatten_cell, read_cif, write_cif
+
+
+def make_hierarchy():
+    leaf = CellDefinition("leaf")
+    leaf.add_box("metal1", 0, 0, 4, 2)
+    leaf.add_box("poly", 1, 0, 2, 6)
+    leaf.add_port("a", 0, 1)
+    mid = CellDefinition("mid")
+    mid.add_instance(leaf, Vec2(0, 0), NORTH)
+    mid.add_instance(leaf, Vec2(10, 0), SOUTH)
+    top = CellDefinition("top")
+    top.add_instance(mid, Vec2(0, 0), NORTH)
+    top.add_instance(mid, Vec2(0, 20), EAST)
+    return top
+
+
+class TestWriter:
+    def test_symbols_defined_before_use(self):
+        text = cif_text(make_hierarchy())
+        ds_positions = {}
+        call_lines = []
+        for index, line in enumerate(text.splitlines()):
+            if line.startswith("DS "):
+                ds_positions[int(line.split()[1].rstrip(";"))] = index
+            if line.startswith("C "):
+                call_lines.append((index, int(line.split()[1].rstrip(";"))))
+        for index, symbol in call_lines:
+            assert ds_positions[symbol] < index
+
+    def test_contains_layers_and_boxes(self):
+        text = cif_text(make_hierarchy())
+        assert "L METAL1;" in text
+        assert "L POLY;" in text
+        assert text.count("B ") == 2  # leaf's 2 boxes, defined once
+        assert "94 a" in text
+
+    def test_ends_with_top_call(self):
+        lines = [l for l in cif_text(make_hierarchy()).splitlines() if l.strip()]
+        assert lines[-1] == "E"
+        assert lines[-2].startswith("C ")
+
+
+class TestRoundTrip:
+    def test_flat_geometry_preserved(self):
+        top = make_hierarchy()
+        table = read_cif(cif_text(top))
+        back = table.lookup("top")
+        assert flatten_cell(back).same_geometry(flatten_cell(top))
+
+    @pytest.mark.parametrize("orientation", ALL_ORIENTATIONS)
+    def test_every_orientation_round_trips(self, orientation):
+        leaf = CellDefinition("leaf")
+        leaf.add_box("m", 0, 0, 4, 2)
+        leaf.add_box("m", 0, 0, 1, 7)
+        top = CellDefinition("top")
+        top.add_instance(leaf, Vec2(15, 3), orientation)
+        table = read_cif(cif_text(top))
+        assert flatten_cell(table.lookup("top")).same_geometry(flatten_cell(top))
+
+    def test_ports_round_trip(self):
+        leaf = CellDefinition("leaf")
+        leaf.add_box("m", 0, 0, 2, 2)
+        leaf.add_port("sig", 1, 2)
+        table = read_cif(cif_text(leaf))
+        assert table.lookup("leaf").port("sig").position == Vec2(1, 2)
+
+    def test_scale_factor(self):
+        leaf = CellDefinition("leaf")
+        leaf.add_box("m", 0, 0, 3, 5)
+        text = cif_text(leaf, scale=10)
+        assert "B 30 50 15 25;" in text
+        table = read_cif(text, scale=10)
+        assert table.lookup("leaf").boxes[0].box.xmax == 3
+
+    def test_file_io(self, tmp_path):
+        top = make_hierarchy()
+        path = str(tmp_path / "out.cif")
+        write_cif(top, path)
+        with open(path) as handle:
+            table = read_cif(handle)
+        assert flatten_cell(table.lookup("top")).same_geometry(flatten_cell(top))
+
+
+class TestGeneratedLayouts:
+    def test_multiplier_cif_round_trip(self):
+        from repro.multiplier import generate_multiplier
+
+        top = generate_multiplier(3, 3)
+        table = read_cif(cif_text(top))
+        assert flatten_cell(table.lookup("thewholething")).same_geometry(
+            flatten_cell(top)
+        )
+
+    def test_pla_cif_round_trip(self):
+        from repro.pla import TruthTable, generate_pla
+
+        pla = generate_pla(TruthTable.parse("10|1\n01|1"))
+        table = read_cif(cif_text(pla))
+        assert flatten_cell(table.lookup("pla")).same_geometry(flatten_cell(pla))

@@ -1,0 +1,86 @@
+"""Tests for the command-line driver (the Figure 1.1 flow)."""
+
+import pytest
+
+from repro.cli import main, run_flow
+from repro.core.errors import RsgError
+from repro.layout import flatten_cell, read_cif
+from repro.multiplier import MULTIPLIER_SAMPLE, DESIGN_FILE, PARAMETER_FILE
+
+
+@pytest.fixture
+def flow_files(tmp_path):
+    sample = tmp_path / "mult.sample"
+    sample.write_text(MULTIPLIER_SAMPLE)
+    design = tmp_path / "mult.design"
+    design.write_text(DESIGN_FILE)
+    output = tmp_path / "mult.cif"
+    parameter = tmp_path / "mult.par"
+    parameter.write_text(
+        f".example_file:{sample}\n"
+        f".concept_file:{design}\n"
+        f".output_file:{output}\n"
+        ".output_cell:thewholething\n"
+        + PARAMETER_FILE.split("# Multiplier parameter file (after Appendix C).\n")[1]
+        .replace("xsize=6", "xsize=3")
+        .replace("ysize=6", "ysize=3")
+    )
+    return parameter, output
+
+
+class TestRunFlow:
+    def test_end_to_end(self, flow_files):
+        parameter, output = flow_files
+        cell = run_flow(str(parameter))
+        assert cell.name == "thewholething"
+        assert output.exists()
+        table = read_cif(str(output))
+        assert flatten_cell(table.lookup("thewholething")).same_geometry(
+            flatten_cell(cell)
+        )
+
+    def test_overrides(self, flow_files):
+        parameter, _ = flow_files
+        cell = run_flow(str(parameter), overrides=["xsize=2", "ysize=2"])
+        from repro.multiplier import report_for
+
+        assert report_for(cell, 2, 2).basic_cells == 2 * 3
+
+    def test_missing_directives(self, tmp_path):
+        parameter = tmp_path / "bad.par"
+        parameter.write_text("x=1\n")
+        with pytest.raises(RsgError):
+            run_flow(str(parameter))
+
+    def test_svg_format(self, flow_files, tmp_path):
+        parameter, output = flow_files
+        svg_out = tmp_path / "out.svg"
+        text = parameter.read_text().replace(
+            f".output_file:{output}", f".output_file:{svg_out}\n.format:svg"
+        )
+        parameter.write_text(text)
+        run_flow(str(parameter))
+        assert svg_out.read_text().startswith("<svg")
+
+
+class TestMain:
+    def test_success_exit_code(self, flow_files, capsys):
+        parameter, _ = flow_files
+        assert main([str(parameter)]) == 0
+        captured = capsys.readouterr()
+        assert "generated cell 'thewholething'" in captured.out
+
+    def test_set_flag(self, flow_files, capsys):
+        parameter, _ = flow_files
+        assert main([str(parameter), "--set", "xsize=2", "--set", "ysize=2"]) == 0
+
+    def test_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.par"
+        bad.write_text("x=1\n")
+        assert main([str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_render_flag(self, flow_files, capsys):
+        parameter, _ = flow_files
+        assert main([str(parameter), "--render"]) == 0
+        assert "scale 1:" in capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Tests for the constraint system and the Bellman-Ford solver (§6.3/6.4.2)."""
+
+import pytest
+
+from repro.compact import Constraint, ConstraintSystem, solve_longest_path
+from repro.core.errors import InfeasibleConstraintsError
+
+
+def chain_system(n, gap=3, shuffle=False):
+    """x0 <- x1 <- ... <- x_{n-1}, each at least `gap` apart."""
+    system = ConstraintSystem()
+    for i in range(n):
+        system.add_variable(f"x{i}", initial=i * gap)
+    order = list(range(n - 1))
+    if shuffle:
+        order = order[::-1]
+    for i in order:
+        system.add(f"x{i}", f"x{i+1}", gap)
+    return system
+
+
+class TestConstraintSystem:
+    def test_variables_and_constraints(self):
+        system = chain_system(4)
+        assert len(system.variables) == 4
+        assert len(system) == 3
+
+    def test_endpoints_must_exist(self):
+        system = ConstraintSystem()
+        system.add_variable("a")
+        with pytest.raises(KeyError):
+            system.add("a", "ghost", 1)
+
+    def test_require_equal(self):
+        system = ConstraintSystem()
+        system.add_variable("a")
+        system.add_variable("b")
+        system.require_equal("a", "b", 5)
+        stats = solve_longest_path(system)
+        assert stats.solution["b"] - stats.solution["a"] == 5
+
+    def test_check_reports_violations(self):
+        system = chain_system(3)
+        good = {"x0": 0, "x1": 3, "x2": 6}
+        bad = {"x0": 0, "x1": 2, "x2": 6}
+        assert system.check(good) == []
+        assert len(system.check(bad)) == 1
+
+    def test_pitch_terms_flagged(self):
+        system = ConstraintSystem()
+        system.add_variable("a")
+        system.add_variable("b")
+        system.add_pitch("lam")
+        system.add("a", "b", 2, pitch_terms=(("lam", -1),))
+        assert system.has_pitch_terms()
+
+
+class TestSolver:
+    def test_minimal_solution(self):
+        stats = solve_longest_path(chain_system(5, gap=4))
+        assert [stats.solution[f"x{i}"] for i in range(5)] == [0, 4, 8, 12, 16]
+
+    def test_all_constraints_satisfied(self):
+        system = chain_system(10)
+        stats = solve_longest_path(system)
+        assert system.check(stats.solution) == []
+
+    def test_lower_bound(self):
+        stats = solve_longest_path(chain_system(3), lower_bound=7)
+        assert min(stats.solution.values()) == 7
+
+    def test_positive_cycle_detected(self):
+        system = ConstraintSystem()
+        system.add_variable("a")
+        system.add_variable("b")
+        system.add("a", "b", 5)
+        system.add("b", "a", -3)  # b - a >= 5 and a - b >= -3: a <= b - 5, a >= b - 3
+        with pytest.raises(InfeasibleConstraintsError):
+            solve_longest_path(system)
+
+    def test_negative_weights_feasible(self):
+        system = ConstraintSystem()
+        system.add_variable("a")
+        system.add_variable("b")
+        system.add("a", "b", -2)  # b may sit left of a
+        stats = solve_longest_path(system)
+        assert system.check(stats.solution) == []
+
+    def test_fixed_pitch_substitution(self):
+        system = ConstraintSystem()
+        system.add_variable("a", initial=0)
+        system.add_variable("b", initial=10)
+        system.add_pitch("lam")
+        system.add("a", "b", 4, pitch_terms=(("lam", -1),))
+        stats = solve_longest_path(system, pitches={"lam": 1})
+        assert stats.solution["b"] - stats.solution["a"] >= 3
+
+    def test_symbolic_pitch_without_value_rejected(self):
+        system = ConstraintSystem()
+        system.add_variable("a")
+        system.add_variable("b")
+        system.add_pitch("lam")
+        system.add("a", "b", 4, pitch_terms=(("lam", -1),))
+        with pytest.raises(InfeasibleConstraintsError):
+            solve_longest_path(system)
+
+
+class TestSortedEdgeOptimisation:
+    """Section 6.4.2: presorting edges by initial abscissa makes a
+    preserved ordering converge in one productive pass."""
+
+    def test_sorted_single_productive_pass(self):
+        system = chain_system(100, shuffle=True)
+        sorted_stats = solve_longest_path(system, sort_edges=True)
+        # One pass does all the work; the second detects the fixpoint.
+        assert sorted_stats.passes == 2
+
+    def test_unsorted_needs_many_passes(self):
+        system = chain_system(100, shuffle=True)
+        unsorted_stats = solve_longest_path(system, sort_edges=False)
+        assert unsorted_stats.passes > 2
+
+    def test_same_answer_either_way(self):
+        system = chain_system(50, shuffle=True)
+        a = solve_longest_path(system, sort_edges=True).solution
+        b = solve_longest_path(system, sort_edges=False).solution
+        assert a == b
+
+    def test_relaxation_counts(self):
+        system = chain_system(20, shuffle=True)
+        stats = solve_longest_path(system, sort_edges=True)
+        assert stats.relaxations == 19  # each variable settles once

@@ -1,0 +1,148 @@
+"""Tests for the layout database: flattening, merging, statistics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CellDefinition
+from repro.geometry import Box, NORTH, SOUTH, Vec2
+from repro.layout import FlatLayout, flatten_cell, merge_boxes
+from repro.layout.database import FlatLayout as FL
+
+
+small = st.integers(min_value=0, max_value=30)
+boxes_strategy = st.lists(
+    st.builds(lambda x, y, w, h: Box(x, y, x + w + 1, y + h + 1), small, small,
+              st.integers(0, 10), st.integers(0, 10)),
+    min_size=0,
+    max_size=12,
+)
+
+
+def covered_cells(boxes):
+    cells = set()
+    for box in boxes:
+        for x in range(box.xmin, box.xmax):
+            for y in range(box.ymin, box.ymax):
+                cells.add((x, y))
+    return cells
+
+
+class TestMergeBoxes:
+    def test_empty(self):
+        assert merge_boxes([]) == []
+
+    def test_single(self):
+        assert merge_boxes([Box(0, 0, 4, 4)]) == [Box(0, 0, 4, 4)]
+
+    def test_abutting_merge(self):
+        merged = merge_boxes([Box(0, 0, 2, 10), Box(2, 0, 4, 10)])
+        assert merged == [Box(0, 0, 4, 10)]
+
+    def test_fragmented_wire_becomes_one_box(self):
+        """The Figure 6.5 preprocessing: n abutting fragments merge."""
+        fragments = [Box(2 * k, 0, 2 * (k + 1), 5) for k in range(8)]
+        assert merge_boxes(fragments) == [Box(0, 0, 16, 5)]
+
+    def test_disjoint_preserved(self):
+        merged = merge_boxes([Box(0, 0, 2, 2), Box(10, 0, 12, 2)])
+        assert len(merged) == 2
+
+    def test_overlap_no_double_area(self):
+        merged = merge_boxes([Box(0, 0, 10, 10), Box(5, 5, 15, 15)])
+        assert sum(box.area for box in merged) == 175
+
+    def test_l_shape(self):
+        merged = merge_boxes([Box(0, 0, 10, 2), Box(0, 0, 2, 10)])
+        assert sum(box.area for box in merged) == 20 + 16
+
+    @given(boxes_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_preserves_covered_area_exactly(self, boxes):
+        merged = merge_boxes(boxes)
+        assert covered_cells(merged) == covered_cells(boxes)
+
+    @given(boxes_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_merged_boxes_do_not_overlap(self, boxes):
+        merged = merge_boxes(boxes)
+        total = sum(box.area for box in merged)
+        assert total == len(covered_cells(boxes))
+
+    @given(boxes_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_is_idempotent(self, boxes):
+        once = merge_boxes(boxes)
+        assert merge_boxes(once) == once
+
+
+class TestFlatLayout:
+    def make(self):
+        flat = FlatLayout("t")
+        flat.add("metal", Box(0, 0, 10, 2))
+        flat.add("metal", Box(0, 0, 2, 10))
+        flat.add("poly", Box(5, 5, 7, 7))
+        return flat
+
+    def test_counts_and_bbox(self):
+        flat = self.make()
+        assert flat.box_count() == 3
+        assert flat.bounding_box() == Box(0, 0, 10, 10)
+
+    def test_area_by_layer_uses_merged_geometry(self):
+        flat = self.make()
+        areas = flat.area_by_layer()
+        assert areas["metal"] == 36  # L-shape, not 20+20
+        assert areas["poly"] == 4
+
+    def test_utilisation(self):
+        flat = self.make()
+        assert abs(flat.utilisation() - 40 / 100) < 1e-9
+
+    def test_same_geometry_order_independent(self):
+        a = FlatLayout("a")
+        a.add("m", Box(0, 0, 2, 2))
+        a.add("m", Box(2, 0, 4, 2))
+        b = FlatLayout("b")
+        b.add("m", Box(0, 0, 4, 2))
+        assert a.same_geometry(b)
+
+    def test_same_geometry_detects_difference(self):
+        a = FlatLayout("a")
+        a.add("m", Box(0, 0, 2, 2))
+        b = FlatLayout("b")
+        b.add("m", Box(0, 0, 2, 3))
+        assert not a.same_geometry(b)
+
+    def test_empty_layout(self):
+        flat = FlatLayout("e")
+        assert flat.bounding_box() is None
+        assert flat.utilisation() == 0.0
+
+
+class TestFlattenCell:
+    def test_flatten_with_orientation(self):
+        leaf = CellDefinition("leaf")
+        leaf.add_box("m", 0, 0, 4, 2)
+        top = CellDefinition("top")
+        top.add_instance(leaf, Vec2(0, 0), NORTH)
+        top.add_instance(leaf, Vec2(10, 10), SOUTH)
+        flat = flatten_cell(top)
+        assert Box(0, 0, 4, 2) in flat.layers["m"]
+        assert Box(6, 8, 10, 10) in flat.layers["m"]
+
+    def test_flatten_merge_option(self):
+        leaf = CellDefinition("leaf")
+        leaf.add_box("m", 0, 0, 2, 2)
+        top = CellDefinition("top")
+        top.add_instance(leaf, Vec2(0, 0), NORTH)
+        top.add_instance(leaf, Vec2(2, 0), NORTH)
+        flat = flatten_cell(top, merge=True)
+        assert flat.layers["m"] == [Box(0, 0, 4, 2)]
+
+    def test_flatten_collects_ports(self):
+        leaf = CellDefinition("leaf")
+        leaf.add_port("p", 1, 1)
+        top = CellDefinition("top")
+        top.add_instance(leaf, Vec2(10, 0), NORTH, name="u0")
+        flat = flatten_cell(top)
+        assert flat.ports[0].name == "u0/p"
+        assert flat.ports[0].position == Vec2(11, 1)

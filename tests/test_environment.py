@@ -1,0 +1,107 @@
+"""Tests for environments and Figure 4.1 scoping."""
+
+import pytest
+
+from repro.core import CellTable
+from repro.core.errors import UnboundVariableError
+from repro.lang import Alias, GlobalEnvironment
+
+
+@pytest.fixture
+def setup():
+    cells = CellTable()
+    cells.new_cell("basiccell")
+    globals_ = GlobalEnvironment(cell_table=cells)
+    return cells, globals_
+
+
+class TestLookupChain:
+    def test_frame_first(self, setup):
+        cells, globals_ = setup
+        globals_.bind("x", 1)
+        frame = globals_.frame("proc")
+        frame.bind("x", 2)
+        assert frame.lookup("x") == 2
+
+    def test_falls_to_global(self, setup):
+        _, globals_ = setup
+        globals_.bind("x", 7)
+        assert globals_.frame().lookup("x") == 7
+
+    def test_falls_to_cell_table(self, setup):
+        cells, globals_ = setup
+        frame = globals_.frame()
+        assert frame.lookup("basiccell") is cells.lookup("basiccell")
+
+    def test_unbound(self, setup):
+        _, globals_ = setup
+        with pytest.raises(UnboundVariableError):
+            globals_.frame().lookup("ghost")
+
+    def test_figure_41_sequence(self, setup):
+        """corecell = basiccell: five lookups ending at the cell table."""
+        cells, globals_ = setup
+        globals_.bind("corecell", Alias("basiccell"))
+        frame = globals_.frame("mcell")
+        assert frame.lookup("corecell") is cells.lookup("basiccell")
+
+    def test_alias_chain(self, setup):
+        cells, globals_ = setup
+        globals_.bind("a", Alias("b"))
+        globals_.bind("b", Alias("basiccell"))
+        assert globals_.frame().lookup("a") is cells.lookup("basiccell")
+
+    def test_alias_loop_detected(self, setup):
+        _, globals_ = setup
+        globals_.bind("a", Alias("b"))
+        globals_.bind("b", Alias("a"))
+        with pytest.raises(UnboundVariableError):
+            globals_.frame().lookup("a")
+
+    def test_frame_binding_shadows_cell(self, setup):
+        cells, globals_ = setup
+        frame = globals_.frame()
+        frame.bind("basiccell", 42)
+        assert frame.lookup("basiccell") == 42
+
+
+class TestIndexedKeys:
+    def test_indexed_binding(self, setup):
+        _, globals_ = setup
+        frame = globals_.frame()
+        frame.bind(("l", (1,)), "first")
+        frame.bind(("l", (2,)), "second")
+        assert frame.lookup(("l", (1,))) == "first"
+        assert frame.local(("l", (2,))) == "second"
+
+    def test_indexed_distinct_from_simple(self, setup):
+        _, globals_ = setup
+        frame = globals_.frame()
+        frame.bind("l", "simple")
+        frame.bind(("l", (1,)), "indexed")
+        assert frame.lookup("l") == "simple"
+        assert frame.lookup(("l", (1,))) == "indexed"
+
+    def test_two_dimensional(self, setup):
+        _, globals_ = setup
+        frame = globals_.frame()
+        frame.bind(("a", (2, 3)), "cell23")
+        assert frame.local(("a", (2, 3))) == "cell23"
+
+
+class TestSubcellAccess:
+    def test_local_reads_frame_only(self, setup):
+        _, globals_ = setup
+        globals_.bind("x", "global")
+        frame = globals_.frame("mrow")
+        with pytest.raises(UnboundVariableError) as excinfo:
+            frame.local("x")
+        assert "mrow" in str(excinfo.value)
+
+    def test_environment_outlives_procedure(self, setup):
+        """Macros return their environment; bindings stay readable."""
+        _, globals_ = setup
+        frame = globals_.frame("mstack")
+        frame.bind("base", "node0")
+        # Long after the 'call', the returned environment still answers.
+        assert frame.local("base") == "node0"

@@ -1,0 +1,180 @@
+"""Tests for column-folded PLAs (section 1.2.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.layout import flatten_cell
+from repro.pla import (
+    TruthTable,
+    generate_folded_pla,
+    generate_pla,
+    plan_column_folding,
+)
+
+
+# Outputs 0 and 1 have disjoint term sets (terms 0-1 vs 2-3): foldable.
+FOLDABLE = TruthTable(
+    ["10-", "1-1", "01-", "0-0"],
+    ["10", "10", "01", "01"],
+)
+
+# Every output shares term 0: nothing can fold.
+UNFOLDABLE = TruthTable(
+    ["10-", "01-"],
+    ["11", "11"],
+)
+
+
+class TestPlanning:
+    def test_disjoint_outputs_fold(self):
+        plan = plan_column_folding(FOLDABLE)
+        assert plan.folded_pairs == 1
+        assert plan.column_count() == 1
+
+    def test_overlapping_outputs_do_not_fold(self):
+        plan = plan_column_folding(UNFOLDABLE)
+        assert plan.folded_pairs == 0
+        assert plan.column_count() == 2
+
+    def test_row_order_is_permutation(self):
+        plan = plan_column_folding(FOLDABLE)
+        assert sorted(plan.row_order) == list(range(FOLDABLE.num_terms))
+
+    def test_bottom_terms_precede_top_terms(self):
+        plan = plan_column_folding(FOLDABLE)
+        position = {term: pos for pos, term in enumerate(plan.row_order)}
+        for column, (bottom, top) in enumerate(plan.columns):
+            if top is None:
+                continue
+            bottom_terms = [
+                t for t in range(FOLDABLE.num_terms)
+                if FOLDABLE.or_plane[t][bottom] == "1"
+            ]
+            top_terms = [
+                t for t in range(FOLDABLE.num_terms)
+                if FOLDABLE.or_plane[t][top] == "1"
+            ]
+            assert max(position[t] for t in bottom_terms) < min(
+                position[t] for t in top_terms
+            )
+            assert plan.breaks[column] == max(position[t] for t in bottom_terms) + 1
+
+    def test_three_way_conflict(self):
+        """Pairing is greedy but must stay acyclic: a/b fold (0,1 vs 2,3)
+        and the c/d requirement reversing the order must be rejected."""
+        table = TruthTable(
+            ["1--", "-1-", "--1", "111"],
+            # out0: t0,t1 ; out1: t2,t3 ; out2: t2,t3 ; out3: t0,t1
+            ["1001", "1001", "0110", "0110"],
+        )
+        plan = plan_column_folding(table)
+        position = {term: pos for pos, term in enumerate(plan.row_order)}
+        for column, (bottom, top) in enumerate(plan.columns):
+            if top is None:
+                continue
+            b_terms = [t for t in range(4) if table.or_plane[t][bottom] == "1"]
+            t_terms = [t for t in range(4) if table.or_plane[t][top] == "1"]
+            assert max(position[t] for t in b_terms) < min(
+                position[t] for t in t_terms
+            )
+
+
+class TestLayout:
+    def test_folded_pla_is_narrower(self):
+        plain = generate_pla(FOLDABLE, name="plain")
+        folded, plan = generate_folded_pla(FOLDABLE)
+        plain_bbox = flatten_cell(plain).bounding_box()
+        folded_bbox = flatten_cell(folded).bounding_box()
+        assert plan.folded_pairs == 1
+        assert folded_bbox.width < plain_bbox.width
+
+    def test_structure_counts(self):
+        folded, plan = generate_folded_pla(FOLDABLE)
+        counts = {}
+
+        def walk(cell):
+            for instance in cell.instances:
+                counts[instance.celltype] = counts.get(instance.celltype, 0) + 1
+                walk(instance.definition)
+
+        walk(folded)
+        # One physical OR column spanning all 4 rows.
+        assert counts["orsq"] == 4
+        # Two output buffers on the folded column (bottom + top).
+        assert counts["outbuf"] == 2
+        assert counts["colbreak"] == plan.folded_pairs
+
+    def test_unfoldable_table_matches_plain_column_count(self):
+        folded, plan = generate_folded_pla(UNFOLDABLE)
+        counts = {}
+
+        def walk(cell):
+            for instance in cell.instances:
+                counts[instance.celltype] = counts.get(instance.celltype, 0) + 1
+                walk(instance.definition)
+
+        walk(folded)
+        assert counts["orsq"] == UNFOLDABLE.num_terms * 2
+        assert counts.get("colbreak", 0) == 0
+
+    def test_crosspoints_preserved(self):
+        """Folding permutes rows but keeps every AND-plane crosspoint."""
+        folded, plan = generate_folded_pla(FOLDABLE)
+        counts = {"xtrue": 0, "xfalse": 0, "xout": 0}
+
+        def walk(cell):
+            for instance in cell.instances:
+                if instance.celltype in counts:
+                    counts[instance.celltype] += 1
+                walk(instance.definition)
+
+        walk(folded)
+        and_x, or_x = FOLDABLE.crosspoints()
+        assert counts["xtrue"] + counts["xfalse"] == and_x
+        assert counts["xout"] == or_x
+
+
+def random_tables():
+    return st.integers(2, 3).flatmap(
+        lambda n_in: st.integers(2, 4).flatmap(
+            lambda n_out: st.lists(
+                st.tuples(
+                    st.text(alphabet="01-", min_size=n_in, max_size=n_in),
+                    st.text(alphabet="01", min_size=n_out, max_size=n_out),
+                ),
+                min_size=2,
+                max_size=6,
+            ).map(lambda rows: TruthTable([r[0] for r in rows], [r[1] for r in rows]))
+        )
+    )
+
+
+class TestFoldingProperties:
+    @given(random_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_plans_always_legal(self, table):
+        plan = plan_column_folding(table)
+        assert sorted(plan.row_order) == list(range(table.num_terms))
+        position = {term: pos for pos, term in enumerate(plan.row_order)}
+        seen_outputs = []
+        for column, (bottom, top) in enumerate(plan.columns):
+            seen_outputs.append(bottom)
+            if top is None:
+                continue
+            seen_outputs.append(top)
+            b_terms = [t for t in range(table.num_terms)
+                       if table.or_plane[t][bottom] == "1"]
+            t_terms = [t for t in range(table.num_terms)
+                       if table.or_plane[t][top] == "1"]
+            assert not set(b_terms) & set(t_terms)
+            if b_terms and t_terms:
+                assert max(position[t] for t in b_terms) < min(
+                    position[t] for t in t_terms
+                )
+        assert sorted(seen_outputs) == list(range(table.num_outputs))
+
+    @given(random_tables())
+    @settings(max_examples=15, deadline=None)
+    def test_generation_never_crashes(self, table):
+        folded, plan = generate_folded_pla(table)
+        assert folded.count_instances() > 0

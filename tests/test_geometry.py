@@ -1,0 +1,148 @@
+"""Tests for vectors, boxes, and transforms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    ALL_ORIENTATIONS,
+    EAST,
+    IDENTITY,
+    NORTH,
+    ORIGIN,
+    SOUTH,
+    Box,
+    Transform,
+    Vec2,
+)
+
+coords = st.integers(min_value=-500, max_value=500)
+vectors = st.builds(Vec2, coords, coords)
+orientations = st.sampled_from(ALL_ORIENTATIONS)
+boxes = st.builds(Box, coords, coords, coords, coords)
+transforms = st.builds(Transform, vectors, orientations)
+
+
+class TestVec2:
+    def test_arithmetic(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+        assert Vec2(3, 4) - Vec2(1, 2) == Vec2(2, 2)
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+        assert Vec2(1, 2) * 3 == Vec2(3, 6)
+        assert 3 * Vec2(1, 2) == Vec2(3, 6)
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            ORIGIN.x = 1
+
+    def test_manhattan(self):
+        assert Vec2(-3, 4).manhattan() == 7
+
+    def test_iteration_and_tuple(self):
+        assert tuple(Vec2(5, 6)) == (5, 6)
+        assert Vec2(5, 6).as_tuple() == (5, 6)
+
+    @given(vectors, orientations)
+    def test_transform_preserves_norm(self, v, o):
+        assert v.transformed(o).manhattan() == v.manhattan()
+
+    @given(vectors)
+    def test_additive_inverse(self, v):
+        assert v + (-v) == ORIGIN
+
+    def test_hash_consistency(self):
+        assert hash(Vec2(1, 2)) == hash(Vec2(1, 2))
+        assert Vec2(1, 2) != Vec2(2, 1)
+
+
+class TestBox:
+    def test_normalisation(self):
+        box = Box(10, 20, 0, 5)
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (0, 5, 10, 20)
+
+    def test_measures(self):
+        box = Box(1, 2, 5, 10)
+        assert box.width == 4
+        assert box.height == 8
+        assert box.area == 32
+
+    def test_degenerate_box_is_legal(self):
+        box = Box(3, 3, 3, 9)
+        assert box.width == 0 and box.area == 0
+
+    def test_contains_point(self):
+        box = Box(0, 0, 10, 10)
+        assert box.contains_point(Vec2(0, 0))
+        assert box.contains_point(Vec2(10, 10))
+        assert not box.contains_point(Vec2(11, 5))
+
+    def test_overlap_predicates(self):
+        a = Box(0, 0, 10, 10)
+        assert a.overlaps(Box(10, 0, 20, 10))       # touching counts
+        assert not a.overlaps_open(Box(10, 0, 20, 10))
+        assert a.overlaps_open(Box(9, 9, 20, 20))
+        assert not a.overlaps(Box(11, 0, 20, 10))
+
+    def test_union_intersection(self):
+        a = Box(0, 0, 10, 10)
+        b = Box(5, 5, 20, 20)
+        assert a.union(b) == Box(0, 0, 20, 20)
+        assert a.intersection(b) == Box(5, 5, 10, 10)
+        assert a.intersection(Box(11, 11, 12, 12)) is None
+
+    def test_translated_and_grown(self):
+        assert Box(0, 0, 2, 2).translated(Vec2(5, -1)) == Box(5, -1, 7, 1)
+        assert Box(2, 2, 4, 4).grown(1) == Box(1, 1, 5, 5)
+
+    @given(boxes, orientations)
+    def test_transform_preserves_area(self, box, o):
+        assert box.transformed(o).area == box.area
+
+    @given(boxes, orientations, vectors)
+    def test_transform_matches_corner_transform(self, box, o, v):
+        out = box.transformed(o, v)
+        corners = [
+            Vec2(box.xmin, box.ymin).transformed(o) + v,
+            Vec2(box.xmax, box.ymax).transformed(o) + v,
+        ]
+        assert out == Box.from_corners(corners[0], corners[1])
+
+    @given(boxes, boxes)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_box(a) and u.contains_box(b)
+
+    def test_from_size(self):
+        assert Box.from_size(Vec2(1, 1), 3, 4) == Box(1, 1, 4, 5)
+
+
+class TestTransform:
+    def test_identity(self):
+        assert IDENTITY.apply(Vec2(7, 8)) == Vec2(7, 8)
+        assert IDENTITY.is_identity
+
+    def test_apply_order_reflect_then_rotate_then_translate(self):
+        t = Transform(Vec2(10, 0), EAST)
+        # EAST maps (0, 1) -> (1, 0); plus offset -> (11, 0)
+        assert t.apply(Vec2(0, 1)) == Vec2(11, 0)
+
+    @given(transforms, vectors)
+    def test_inverse_round_trip(self, t, v):
+        assert t.inverse().apply(t.apply(v)) == v
+        assert t.apply(t.inverse().apply(v)) == v
+
+    @given(transforms, transforms, vectors)
+    def test_composition_semantics(self, t2, t1, v):
+        assert t2.compose(t1).apply(v) == t2.apply(t1.apply(v))
+
+    @given(transforms, transforms, boxes)
+    def test_composition_on_boxes(self, t2, t1, box):
+        assert t2.compose(t1).apply_box(box) == t2.apply_box(t1.apply_box(box))
+
+    @given(transforms)
+    def test_inverse_composition_is_identity(self, t):
+        assert t.compose(t.inverse()).is_identity
+
+    def test_instance_call_semantics(self):
+        """Section 2.1: isometry about the origin, then placement."""
+        t = Transform(Vec2(100, 50), SOUTH)
+        assert t.apply_box(Box(0, 0, 4, 2)) == Box(96, 48, 100, 50)

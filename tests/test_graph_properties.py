@@ -1,0 +1,124 @@
+"""Property-based tests on random connectivity trees (chapter 3)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CellDefinition,
+    Interface,
+    InterfaceTable,
+    Node,
+    derive_interface,
+    expand_graph,
+)
+from repro.core.graph import iter_edges
+from repro.geometry import ALL_ORIENTATIONS, Vec2
+
+coords = st.integers(min_value=-20, max_value=20)
+orientations = st.sampled_from(ALL_ORIENTATIONS)
+interfaces = st.builds(Interface, st.builds(Vec2, coords, coords), orientations)
+
+
+@st.composite
+def random_trees(draw):
+    """A random tree over 2-10 nodes of 1-3 celltypes with random
+    interfaces loaded consistently into a table."""
+    n = draw(st.integers(2, 10))
+    celltype_count = draw(st.integers(1, 3))
+    celltypes = [f"t{i}" for i in range(celltype_count)]
+    cells = {}
+    for name in celltypes:
+        cell = CellDefinition(name)
+        cell.add_box("m", 0, 0, 2, 2)
+        cells[name] = cell
+    node_types = [draw(st.sampled_from(celltypes)) for _ in range(n)]
+    nodes = [Node(cells[t]) for t in node_types]
+    table = InterfaceTable()
+    next_index = {}
+    for child in range(1, n):
+        parent = draw(st.integers(0, child - 1))
+        interface = draw(interfaces)
+        key = (node_types[parent], node_types[child])
+        index = next_index.get(key, 0) + 1
+        next_index[key] = index
+        # Avoid collisions with the auto-loaded reverse direction.
+        reverse = (key[1], key[0])
+        next_index[reverse] = max(next_index.get(reverse, 0), index)
+        table.declare(key[0], key[1], index, interface)
+        nodes[parent].connect(nodes[child], index)
+    return nodes, table
+
+
+class TestRandomTrees:
+    @given(random_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_every_edge_realises_its_interface(self, tree):
+        """After expansion, each edge's endpoints stand in exactly the
+        declared interface — the defining contract of the algorithm."""
+        nodes, table = tree
+        expand_graph(nodes[0], table)
+        for edge in iter_edges(nodes):
+            declared = table.lookup(
+                edge.source.celltype, edge.target.celltype, edge.index
+            )
+            realised = derive_interface(
+                edge.source.instance.location,
+                edge.source.instance.orientation,
+                edge.target.instance.location,
+                edge.target.instance.orientation,
+            )
+            assert realised == declared
+
+    @given(random_trees(), st.integers(0, 9))
+    @settings(max_examples=40, deadline=None)
+    def test_root_choice_is_isometry(self, tree, root_pick):
+        """Expansion from any root yields the same layout modulo an
+        isometry (the equivalence classes of section 3.4)."""
+        from repro.geometry import Transform
+
+        nodes, table = tree
+        expand_graph(nodes[0], table)
+        reference = [
+            (node.instance.location, node.instance.orientation) for node in nodes
+        ]
+        root = nodes[root_pick % len(nodes)]
+        expand_graph(root, table)
+        moved = [
+            (node.instance.location, node.instance.orientation) for node in nodes
+        ]
+        iso = Transform(moved[0][0], moved[0][1]).compose(
+            Transform(reference[0][0], reference[0][1]).inverse()
+        )
+        for (loc_r, ori_r), (loc_m, ori_m) in zip(reference, moved):
+            world = iso.compose(Transform(loc_r, ori_r))
+            assert (world.offset, world.orientation) == (loc_m, ori_m)
+
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_all_nodes_reachable_and_placed(self, tree):
+        nodes, table = tree
+        order = expand_graph(nodes[0], table, expected_nodes=nodes)
+        assert len(order) == len(nodes)
+        assert all(node.is_placed for node in nodes)
+
+    @given(random_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_consistent_cycle_edge_always_accepted(self, tree):
+        """Adding a cycle edge whose interface matches the expanded
+        placement must never raise."""
+        nodes, table = tree
+        expand_graph(nodes[0], table)
+        if len(nodes) < 3:
+            return
+        a, b = nodes[0], nodes[-1]
+        realised = derive_interface(
+            a.instance.location,
+            a.instance.orientation,
+            b.instance.location,
+            b.instance.orientation,
+        )
+        index = 90
+        table.declare(a.celltype, b.celltype, index, realised, replace=True)
+        a.connect(b, index)
+        expand_graph(nodes[0], table)  # must not raise

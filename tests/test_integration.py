@@ -1,0 +1,135 @@
+"""End-to-end integration tests: the full Figure 1.1 pipeline.
+
+design file + layout file (sample) + parameter file -> RSG -> CIF.
+"""
+
+import pytest
+
+from repro.compact import TECH_B, LeafCellCompactor, check_layout
+from repro.core import Rsg
+from repro.geometry import Vec2
+from repro.lang import Interpreter, parse_parameters
+from repro.layout import (
+    cif_text,
+    dump_sample,
+    flatten_cell,
+    loads_sample,
+    read_cif,
+)
+from repro.multiplier import (
+    DESIGN_FILE,
+    PARAMETER_FILE,
+    build_baugh_wooley,
+    generate_via_language,
+    report_for,
+    retime,
+)
+
+
+class TestFullPipeline:
+    def test_figure_11_flow(self, tmp_path):
+        """Sample layout + design file + parameter file -> CIF output."""
+        top, interp = generate_via_language(4, 4)
+        path = tmp_path / "mult.cif"
+        from repro.layout import write_cif
+
+        write_cif(top, str(path))
+        with open(path) as handle:
+            table = read_cif(handle)
+        assert flatten_cell(table.lookup("thewholething")).same_geometry(
+            flatten_cell(top)
+        )
+
+    def test_parameter_file_drives_design_file(self):
+        """Running the shipped parameter file verbatim (6x6 default)."""
+        from repro.multiplier import load_multiplier_library
+
+        rsg = load_multiplier_library()
+        interp = Interpreter(rsg)
+        params = parse_parameters(PARAMETER_FILE)
+        interp.set_parameters(params.bindings)
+        interp.run(DESIGN_FILE)
+        report = report_for(rsg.cells.lookup("thewholething"), 6, 6)
+        assert report.basic_cells == 6 * 7
+
+    def test_same_design_file_different_size(self):
+        """One design file, many personalities — the delayed-binding
+        payoff: only the parameter file changes."""
+        small, _ = generate_via_language(2, 2)
+        large, _ = generate_via_language(5, 5)
+        assert report_for(small, 2, 2).basic_cells == 6
+        assert report_for(large, 5, 5).basic_cells == 30
+
+    def test_layout_matches_arithmetic_structure(self):
+        """The generated layout's personalisation equals the verified
+        arithmetic netlist, tying chapter 5's two halves together."""
+        xsize = ysize = 5
+        top, _ = generate_via_language(xsize, ysize)
+        report = report_for(top, xsize, ysize)
+        net = build_baugh_wooley(xsize, ysize)
+        assert report.type2_masks == net.count_kind("csII")
+        assert report.basic_cells == xsize * ysize + net.count_kind("cpa")
+
+    def test_register_budget_consistency(self):
+        """Peripheral layout registers must cover the bit-systolic skew:
+        the top and bottom triangles of the layout match the input-skew
+        register profile shape (monotone 1..n and n..1)."""
+        top, _ = generate_via_language(4, 4)
+        report = report_for(top, 4, 4)
+        assert report.registers >= retime(build_baugh_wooley(4, 4), 1).latency
+
+
+class TestCompactThenRegenerate:
+    def test_leaf_cell_compaction_then_new_sample(self):
+        """Chapter 6's closing loop: compact a library, emit a new sample
+        layout, and rebuild a structure in the new technology."""
+        rsg = Rsg()
+        cell = rsg.define_cell("tile")
+        cell.add_box("metal1", 0, 0, 4, 4)
+        cell.add_box("metal1", 10, 0, 14, 4)
+        from repro.geometry import NORTH
+
+        rsg.interface_by_example(
+            "tile", Vec2(0, 0), NORTH, "tile", Vec2(20, 0), NORTH, index=1
+        )
+        compactor = LeafCellCompactor(rsg, TECH_B, width_mode="min")
+        compactor.add_cell("tile")
+        compactor.add_interface("tile", "tile", 1)
+        result = compactor.solve()
+
+        # Build a new workspace from the compacted library.
+        new_rsg = Rsg()
+        new_cell = new_rsg.define_cell("tile")
+        for layer_box in result.cells["tile"].boxes:
+            box = layer_box.box
+            new_cell.add_box(layer_box.layer, box.xmin, box.ymin, box.xmax, box.ymax)
+        interface = result.interfaces[("tile", "tile", 1)]
+        new_rsg.interfaces.declare("tile", "tile", 1, interface)
+
+        nodes = [new_rsg.mk_instance("tile") for _ in range(6)]
+        new_rsg.chain(nodes, 1)
+        row = new_rsg.mk_cell("row", nodes[0])
+        flat = flatten_cell(row)
+        assert check_layout(flat.layers, TECH_B) == []
+        # And tighter than the original pitch (20) times 6.
+        assert flat.bounding_box().width < 20 * 6
+
+    def test_dump_sample_of_compacted_cells(self):
+        rsg = Rsg()
+        cell = rsg.define_cell("c")
+        cell.add_box("poly", 0, 0, 2, 2)
+        text = dump_sample(rsg, ["c"])
+        fresh = Rsg()
+        loads_sample(text, fresh)
+        assert "c" in fresh.cells
+
+
+class TestCifForAllGenerators:
+    def test_decoder_cif(self):
+        from repro.pla import generate_decoder
+
+        decoder = generate_decoder(2)
+        table = read_cif(cif_text(decoder))
+        assert flatten_cell(table.lookup("decoder")).same_geometry(
+            flatten_cell(decoder)
+        )

@@ -1,0 +1,187 @@
+"""Tests for the interface calculus (paper chapter 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    Interface,
+    derive_interface,
+    inherit_interface,
+    propagate_placement,
+)
+from repro.geometry import (
+    ALL_ORIENTATIONS,
+    EAST,
+    FLIP_NORTH,
+    NORTH,
+    SOUTH,
+    WEST,
+    Transform,
+    Vec2,
+)
+
+coords = st.integers(min_value=-200, max_value=200)
+vectors = st.builds(Vec2, coords, coords)
+orientations = st.sampled_from(ALL_ORIENTATIONS)
+placements = st.tuples(vectors, orientations)
+interfaces = st.builds(Interface, vectors, orientations)
+
+
+class TestDerivation:
+    """Equations 2.1 and 2.2."""
+
+    def test_north_north_interface_is_separation(self):
+        i = derive_interface(Vec2(0, 0), NORTH, Vec2(12, 3), NORTH)
+        assert i == Interface(Vec2(12, 3), NORTH)
+
+    def test_paper_figure_22(self):
+        """Figure 2.2: A at South; deskewing by South^-1 = South."""
+        i = derive_interface(Vec2(10, 10), SOUTH, Vec2(14, 13), WEST)
+        # V_ab = South(L_b - L_a) = South(4, 3) = (-4, -3)
+        assert i.vector == Vec2(-4, -3)
+        # O_ab = South^-1 o West = South o West = East
+        assert i.orientation == EAST
+
+    def test_deskewed_a_reads_directly(self):
+        """When A sits at North the interface is literal (section 2.2)."""
+        i = derive_interface(Vec2(5, 5), NORTH, Vec2(8, 9), FLIP_NORTH)
+        assert i == Interface(Vec2(3, 4), FLIP_NORTH)
+
+    @given(placements, placements)
+    def test_derive_then_propagate_round_trips(self, pa, pb):
+        """Equations 3.1/3.2 invert equations 2.1/2.2."""
+        i = derive_interface(pa[0], pa[1], pb[0], pb[1])
+        assert propagate_placement(pa[0], pa[1], i) == pb
+
+    @given(placements, placements, placements)
+    def test_interface_is_invariant_under_common_isometry(self, pa, pb, pc):
+        """I_ab depends only on *relative* placement: applying any common
+        isometry to both instances leaves the interface unchanged."""
+        common = Transform(pc[0], pc[1])
+        ta = common.compose(Transform(pa[0], pa[1]))
+        tb = common.compose(Transform(pb[0], pb[1]))
+        assert derive_interface(pa[0], pa[1], pb[0], pb[1]) == derive_interface(
+            ta.offset, ta.orientation, tb.offset, tb.orientation
+        )
+
+
+class TestInversion:
+    """Equations 2.3 and 2.4: I_ba = (-O_ab^-1 V_ab, O_ab^-1)."""
+
+    def test_formula(self):
+        i = Interface(Vec2(5, 0), EAST)
+        inv = i.inverse()
+        assert inv.orientation == WEST
+        assert inv.vector == Vec2(0, -5)
+
+    @given(interfaces)
+    def test_involution(self, i):
+        assert i.inverse().inverse() == i
+
+    @given(placements, placements)
+    def test_inverse_swaps_roles(self, pa, pb):
+        i_ab = derive_interface(pa[0], pa[1], pb[0], pb[1])
+        i_ba = derive_interface(pb[0], pb[1], pa[0], pa[1])
+        assert i_ab.inverse() == i_ba
+
+    def test_section_34_east_example(self):
+        """I_aa = (0, East) has I' = (0, West): same vector, different
+        orientation — vectors alone cannot discriminate (section 3.4)."""
+        i = Interface(Vec2(0, 0), EAST)
+        inv = i.inverse()
+        assert inv.vector == i.vector
+        assert inv.orientation != i.orientation
+
+    def test_section_34_north_example(self):
+        """I_aa = (V, North) has I' = (-V, North): same orientation,
+        different vector — orientations alone cannot discriminate."""
+        i = Interface(Vec2(7, 0), NORTH)
+        inv = i.inverse()
+        assert inv.orientation == i.orientation
+        assert inv.vector == Vec2(-7, 0)
+
+    def test_self_inverse_detection(self):
+        assert Interface(Vec2(0, 0), SOUTH).is_self_inverse()
+        assert not Interface(Vec2(1, 0), NORTH).is_self_inverse()
+
+    @given(interfaces)
+    def test_self_inverse_consistency(self, i):
+        assert i.is_self_inverse() == (i == i.inverse())
+
+
+class TestPropagation:
+    """Equations 3.1 and 3.2."""
+
+    def test_simple_propagation(self):
+        location, orientation = propagate_placement(
+            Vec2(10, 0), NORTH, Interface(Vec2(20, 0), NORTH)
+        )
+        assert (location, orientation) == (Vec2(30, 0), NORTH)
+
+    def test_rotated_reference(self):
+        # A at East: the interface vector rotates with A.
+        location, orientation = propagate_placement(
+            Vec2(0, 0), EAST, Interface(Vec2(10, 0), NORTH)
+        )
+        assert location == Vec2(0, -10)
+        assert orientation == EAST
+
+    @given(placements, interfaces)
+    def test_propagate_then_derive(self, pa, i):
+        location, orientation = propagate_placement(pa[0], pa[1], i)
+        assert derive_interface(pa[0], pa[1], location, orientation) == i
+
+    @given(placements, interfaces)
+    def test_propagate_inverse_returns(self, pa, i):
+        pb = propagate_placement(pa[0], pa[1], i)
+        back = propagate_placement(pb[0], pb[1], i.inverse())
+        assert back == pa
+
+
+class TestInheritance:
+    """Equations 2.11 and 2.12 (section 2.5 / Figure 2.4)."""
+
+    def test_identity_subcells(self):
+        """A at C's origin and B at D's origin: I_cd = I_ab."""
+        i_ab = Interface(Vec2(9, 2), EAST)
+        i_cd = inherit_interface(i_ab, Vec2(0, 0), NORTH, Vec2(0, 0), NORTH)
+        assert i_cd == i_ab
+
+    def test_translated_subcells(self):
+        i_ab = Interface(Vec2(10, 0), NORTH)
+        # A sits 2 right inside C; B sits 3 right inside D.
+        i_cd = inherit_interface(i_ab, Vec2(2, 0), NORTH, Vec2(3, 0), NORTH)
+        # C->D separation shrinks by (3 - 2) ... L_d = 2 + 10 - 3 = 9.
+        assert i_cd == Interface(Vec2(9, 0), NORTH)
+
+    @given(interfaces, placements, placements, placements)
+    def test_inheritance_soundness(self, i_ab, a_in_c, b_in_d, c_place):
+        """Placing C and D with the inherited interface puts the subcells
+        A and B exactly at interface I_ab — the defining property."""
+        i_cd = inherit_interface(
+            i_ab, a_in_c[0], a_in_c[1], b_in_d[0], b_in_d[1]
+        )
+        d_place = propagate_placement(c_place[0], c_place[1], i_cd)
+        world_a = Transform(c_place[0], c_place[1]).compose(
+            Transform(a_in_c[0], a_in_c[1])
+        )
+        world_b = Transform(d_place[0], d_place[1]).compose(
+            Transform(b_in_d[0], b_in_d[1])
+        )
+        derived = derive_interface(
+            world_a.offset, world_a.orientation, world_b.offset, world_b.orientation
+        )
+        assert derived == i_ab
+
+
+class TestImmutability:
+    def test_interface_is_immutable_and_hashable(self):
+        i = Interface(Vec2(1, 1), NORTH)
+        with pytest.raises(AttributeError):
+            i.vector = Vec2(0, 0)
+        assert hash(i) == hash(Interface(Vec2(1, 1), NORTH))
+
+    def test_ordered_pair_inequality(self):
+        """I_ab != I_ba in general (section 2.2)."""
+        i = Interface(Vec2(3, 0), EAST)
+        assert i != i.inverse()

@@ -1,0 +1,103 @@
+"""Tests for the interface table (paper section 2.4)."""
+
+import pytest
+
+from repro.core import Interface, InterfaceTable
+from repro.core.errors import DuplicateInterfaceError, UnknownInterfaceError
+from repro.geometry import EAST, NORTH, SOUTH, WEST, Vec2
+
+
+@pytest.fixture
+def table():
+    return InterfaceTable()
+
+
+class TestBilaterality:
+    """Loading I_ab also loads I_ba (section 2.4's key property)."""
+
+    def test_reverse_loaded_automatically(self, table):
+        i = Interface(Vec2(10, 0), EAST)
+        table.declare("a", "b", 1, i)
+        assert table.lookup("b", "a", 1) == i.inverse()
+
+    def test_reverse_of_reverse(self, table):
+        i = Interface(Vec2(3, 4), WEST)
+        table.declare("a", "b", 2, i)
+        assert table.lookup("a", "b", 2) == i
+        assert table.lookup("b", "a", 2).inverse() == i
+
+    def test_same_celltype_keeps_reference_direction(self, table):
+        """For A-A interfaces only the declared direction is stored; the
+        inverse is reachable via lookup_reverse (section 3.4)."""
+        i = Interface(Vec2(5, 0), NORTH)
+        table.declare("a", "a", 1, i)
+        assert table.lookup("a", "a", 1) == i
+        assert table.lookup_reverse("a", "a", 1) == i.inverse()
+
+    def test_len_counts_both_directions(self, table):
+        table.declare("a", "b", 1, Interface(Vec2(1, 0), NORTH))
+        assert len(table) == 2
+        table.declare("c", "c", 1, Interface(Vec2(1, 0), NORTH))
+        assert len(table) == 3
+
+
+class TestFamilies:
+    """Figure 2.3: several distinct legal interfaces per cell pair."""
+
+    def test_multiple_indices(self, table):
+        first = Interface(Vec2(10, 0), WEST)
+        second = Interface(Vec2(0, -10), SOUTH)
+        table.declare("a", "b", 1, first)
+        table.declare("a", "b", 2, second)
+        assert table.lookup("a", "b", 1) == first
+        assert table.lookup("a", "b", 2) == second
+        assert table.indices_between("a", "b") == [1, 2]
+
+    def test_next_index_fills_gaps(self, table):
+        table.declare("a", "b", 1, Interface(Vec2(1, 0), NORTH))
+        table.declare("a", "b", 3, Interface(Vec2(2, 0), NORTH))
+        assert table.next_index("a", "b") == 2
+
+    def test_next_index_empty(self, table):
+        assert table.next_index("x", "y") == 1
+
+
+class TestErrors:
+    def test_unknown_interface(self, table):
+        with pytest.raises(UnknownInterfaceError):
+            table.lookup("a", "b", 1)
+
+    def test_duplicate_rejected(self, table):
+        table.declare("a", "b", 1, Interface(Vec2(1, 0), NORTH))
+        with pytest.raises(DuplicateInterfaceError):
+            table.declare("a", "b", 1, Interface(Vec2(2, 0), NORTH))
+
+    def test_replace_allows_overwrite(self, table):
+        table.declare("a", "b", 1, Interface(Vec2(1, 0), NORTH))
+        table.declare("a", "b", 1, Interface(Vec2(2, 0), NORTH), replace=True)
+        assert table.lookup("a", "b", 1).vector == Vec2(2, 0)
+
+    def test_reverse_key_collision_detected(self, table):
+        """Declaring (a,b) then (b,a) under the same index collides with
+        the auto-loaded inverse."""
+        table.declare("a", "b", 1, Interface(Vec2(1, 0), NORTH))
+        with pytest.raises(DuplicateInterfaceError):
+            table.declare("b", "a", 1, Interface(Vec2(5, 0), NORTH))
+
+
+class TestQueries:
+    def test_has(self, table):
+        table.declare("a", "b", 1, Interface(Vec2(1, 0), NORTH))
+        assert table.has("a", "b", 1)
+        assert table.has("b", "a", 1)
+        assert not table.has("a", "b", 2)
+
+    def test_cells(self, table):
+        table.declare("x", "y", 1, Interface(Vec2(1, 0), NORTH))
+        table.declare("y", "z", 1, Interface(Vec2(1, 0), NORTH))
+        assert table.cells() == ("x", "y", "z")
+
+    def test_iteration(self, table):
+        table.declare("a", "b", 1, Interface(Vec2(1, 0), NORTH))
+        keys = {key for key, _ in table}
+        assert keys == {("a", "b", 1), ("b", "a", 1)}

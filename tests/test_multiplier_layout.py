@@ -1,0 +1,146 @@
+"""Tests for the multiplier layout generators (chapter 5, Appendices B/C)."""
+
+import pytest
+
+from repro.layout import flatten_cell
+from repro.multiplier import (
+    CELL_PITCH,
+    build_baugh_wooley,
+    generate_multiplier,
+    generate_via_language,
+    load_multiplier_library,
+    report_for,
+)
+
+
+class TestLibrary:
+    def test_all_cells_present(self):
+        rsg = load_multiplier_library()
+        for name in (
+            "basiccell",
+            "type1",
+            "type2",
+            "reg",
+            "car1",
+            "car2",
+            "goboth",
+            "goin",
+            "goout",
+            "sgoin",
+            "sgoout",
+        ):
+            assert name in rsg.cells
+        for index in range(1, 5):
+            assert f"phi1_{index}" in rsg.cells.names() or f"phi1_{index}" in rsg.cells
+
+    def test_interface_family_between_basic_and_reg(self):
+        """Figure 2.3: three distinct interfaces for the same cell pair."""
+        rsg = load_multiplier_library()
+        assert rsg.interfaces.indices_between("basiccell", "reg") == [1, 2, 3]
+
+    def test_array_pitches(self):
+        rsg = load_multiplier_library()
+        assert rsg.interfaces.lookup("basiccell", "basiccell", 1).vector.x == CELL_PITCH
+        assert rsg.interfaces.lookup("basiccell", "basiccell", 2).vector.y == -CELL_PITCH
+
+
+class TestGenerator:
+    def test_basic_cell_count(self):
+        """xsize columns x (ysize carry-save + 1 CPA) rows."""
+        for xsize, ysize in [(2, 2), (4, 3), (5, 5)]:
+            report = report_for(generate_multiplier(xsize, ysize), xsize, ysize)
+            assert report.basic_cells == xsize * (ysize + 1)
+
+    def test_type2_mask_count_matches_netlist(self):
+        """Layout personalisation equals the arithmetic structure: the
+        number of type II masks is (m-1)+(n-1), same as the netlist."""
+        for m, n in [(3, 3), (4, 6), (6, 4)]:
+            report = report_for(generate_multiplier(m, n), m, n)
+            net = build_baugh_wooley(m, n)
+            assert report.type2_masks == net.count_kind("csII")
+
+    def test_clock_masks_four_per_cell(self):
+        report = report_for(generate_multiplier(4, 4), 4, 4)
+        assert report.clock_masks == 4 * report.basic_cells
+
+    def test_carry_masks_one_per_cell(self):
+        report = report_for(generate_multiplier(3, 5), 3, 5)
+        assert report.carry_masks == report.basic_cells
+
+    def test_register_counts(self):
+        """Top triangle 1..n, bottom triangle n..1, right rows."""
+        xsize = ysize = 4
+        report = report_for(generate_multiplier(xsize, ysize), xsize, ysize)
+        triangle = xsize * (xsize + 1) // 2
+        regnum = 3 * ysize + 1
+        right = ysize * ((regnum + 1) // 2)
+        assert report.registers == 2 * triangle + right
+
+    def test_direction_masks_cover_right_rows(self):
+        ysize = 5
+        report = report_for(generate_multiplier(4, ysize), 4, ysize)
+        regnum = 3 * ysize + 1
+        assert report.direction_masks == ysize * ((regnum + 1) // 2)
+
+    def test_no_overlapping_basic_cells(self):
+        """Array cells tile without collision (interfaces, not abutment,
+        but the result must still be a clean grid)."""
+        top = generate_multiplier(3, 3)
+        origins = set()
+
+        def walk(cell, offset_x, offset_y):
+            for instance in cell.instances:
+                if instance.celltype == "basiccell":
+                    origins.add(
+                        (offset_x + instance.location.x, offset_y + instance.location.y)
+                    )
+                walk(
+                    instance.definition,
+                    offset_x + instance.location.x,
+                    offset_y + instance.location.y,
+                )
+
+        walk(top, 0, 0)
+        assert len(origins) == 3 * 4  # all distinct
+
+    def test_size_one_rejected_gracefully(self):
+        with pytest.raises(ValueError):
+            generate_multiplier(0, 3)
+
+
+class TestLanguagePathEquivalence:
+    """The strongest integration check: the Appendix B design file and
+    the Python API construct byte-identical flattened layouts."""
+
+    @pytest.mark.parametrize("size", [(2, 2), (3, 4), (5, 3), (6, 6)])
+    def test_flat_equality(self, size):
+        top_lang, _ = generate_via_language(*size)
+        top_api = generate_multiplier(*size)
+        assert flatten_cell(top_lang).same_geometry(flatten_cell(top_api))
+
+    def test_language_path_cell_inventory(self):
+        _, interp = generate_via_language(3, 3)
+        names = interp.rsg.cells.names()
+        for expected in ("array", "topregs", "bottomregs", "rightregs", "thewholething"):
+            assert expected in names
+
+    def test_parameter_override(self):
+        top, _ = generate_via_language(2, 3)
+        report = report_for(top, 2, 3)
+        assert report.basic_cells == 2 * 4
+
+
+class TestScaling:
+    def test_area_scales_quadratically(self):
+        small = report_for(generate_multiplier(4, 4), 4, 4)
+        large = report_for(generate_multiplier(8, 8), 8, 8)
+        def area(report):
+            x0, y0, x1, y1 = report.bounding_box
+            return (x1 - x0) * (y1 - y0)
+        ratio = area(large) / area(small)
+        assert 2.5 < ratio < 5.0  # ~4x for doubled linear size
+
+    def test_32x32_generates(self):
+        """The paper's headline case (5 s on a DEC-2060)."""
+        report = report_for(generate_multiplier(32, 32), 32, 32)
+        assert report.basic_cells == 32 * 33

@@ -1,0 +1,138 @@
+"""Tests for the Rsg workspace API (section 4.4 operators)."""
+
+import pytest
+
+from repro.core import Rsg
+from repro.core.errors import GraphError, UnknownCellError, UnknownInterfaceError
+from repro.geometry import EAST, NORTH, SOUTH, Vec2
+
+
+@pytest.fixture
+def rsg():
+    workspace = Rsg()
+    tile = workspace.define_cell("tile")
+    tile.add_box("metal", 0, 0, 10, 10)
+    mask = workspace.define_cell("mask")
+    mask.add_box("poly", 0, 0, 2, 2)
+    workspace.interface_by_example(
+        "tile", Vec2(0, 0), NORTH, "tile", Vec2(12, 0), NORTH, index=1
+    )
+    workspace.interface_by_example(
+        "tile", Vec2(0, 0), NORTH, "mask", Vec2(4, 4), NORTH, index=1
+    )
+    return workspace
+
+
+class TestMkInstance:
+    def test_creates_partial_instance(self, rsg):
+        node = rsg.mk_instance("tile")
+        assert node.celltype == "tile"
+        assert not node.is_placed
+
+    def test_accepts_definition_object(self, rsg):
+        node = rsg.mk_instance(rsg.cells.lookup("mask"))
+        assert node.celltype == "mask"
+
+    def test_unknown_cell(self, rsg):
+        with pytest.raises(UnknownCellError):
+            rsg.mk_instance("ghost")
+
+
+class TestConnect:
+    def test_connect_validates_interface_exists(self, rsg):
+        a, b = rsg.mk_instance("tile"), rsg.mk_instance("mask")
+        with pytest.raises(UnknownInterfaceError):
+            rsg.connect(a, b, 7)
+
+    def test_connect_returns_source(self, rsg):
+        a, b = rsg.mk_instance("tile"), rsg.mk_instance("tile")
+        assert rsg.connect(a, b, 1) is a
+
+    def test_chain(self, rsg):
+        nodes = [rsg.mk_instance("tile") for _ in range(4)]
+        rsg.chain(nodes, 1)
+        cell = rsg.mk_cell("row", nodes[0])
+        xs = sorted(i.location.x for i in cell.instances)
+        assert xs == [0, 12, 24, 36]
+
+
+class TestMkCell:
+    def test_registers_in_table(self, rsg):
+        node = rsg.mk_instance("tile")
+        cell = rsg.mk_cell("single", node)
+        assert rsg.cells.lookup("single") is cell
+
+    def test_instances_are_placed(self, rsg):
+        a, b = rsg.mk_instance("tile"), rsg.mk_instance("tile")
+        rsg.connect(a, b, 1)
+        cell = rsg.mk_cell("pair", a)
+        assert all(i.is_placed for i in cell.instances)
+
+    def test_new_cell_usable_as_subcell(self, rsg):
+        a, b = rsg.mk_instance("tile"), rsg.mk_instance("tile")
+        rsg.connect(a, b, 1)
+        rsg.mk_cell("pair", a)
+        rsg.interface_by_example(
+            "pair", Vec2(0, 0), NORTH, "pair", Vec2(24, 0), NORTH, index=1
+        )
+        p1, p2 = rsg.mk_instance("pair"), rsg.mk_instance("pair")
+        rsg.connect(p1, p2, 1)
+        quad = rsg.mk_cell("quad", p1)
+        assert quad.count_instances(recursive=True) == 6  # 2 pairs + 4 tiles
+
+
+class TestInterfaceByExample:
+    def test_auto_index(self, rsg):
+        index = rsg.interface_by_example(
+            "tile", Vec2(0, 0), NORTH, "mask", Vec2(8, 8), NORTH
+        )
+        assert index == 2  # index 1 already taken
+
+    def test_oriented_example(self, rsg):
+        rsg.interface_by_example(
+            "tile", Vec2(0, 0), SOUTH, "tile", Vec2(0, -12), SOUTH, index=5
+        )
+        interface = rsg.interfaces.lookup("tile", "tile", 5)
+        # Deskewed by South^-1 = South: vector (0,-12) -> (0,12).
+        assert interface.vector == Vec2(0, 12)
+        assert interface.orientation == NORTH
+
+
+class TestDeclareInterface:
+    def test_inheritance_through_subcells(self, rsg):
+        """Section 2.5 end to end: macrocells inherit a subcell interface
+        and assemble correctly through it."""
+        a1, a2 = rsg.mk_instance("tile"), rsg.mk_instance("tile")
+        rsg.connect(a1, a2, 1)
+        rsg.mk_cell("left", a1)
+        b1, b2 = rsg.mk_instance("tile"), rsg.mk_instance("tile")
+        rsg.connect(b1, b2, 1)
+        rsg.mk_cell("right", b1)
+        # New interface between the macrocells from the tile-tile one:
+        # right's first tile continues the chain after left's last tile.
+        rsg.declare_interface("left", "right", 1, a2, b1, 1)
+        li, ri = rsg.mk_instance("left"), rsg.mk_instance("right")
+        rsg.connect(li, ri, 1)
+        top = rsg.mk_cell("top", li)
+        from repro.layout import flatten_cell
+
+        flat = flatten_cell(top)
+        xs = sorted(box.xmin for box in flat.layers["metal"])
+        assert xs == [0, 12, 24, 36]
+
+    def test_requires_placed_instances(self, rsg):
+        floating = rsg.mk_instance("tile")
+        other = rsg.mk_instance("tile")
+        with pytest.raises(GraphError):
+            rsg.declare_interface("tile", "tile", 9, floating, other, 1)
+
+    def test_mask_interface_inheritance(self, rsg):
+        """Inheriting through a mask-inside-cell interface (the encoding
+        masks of section 2.3 lie within the bounding box)."""
+        t = rsg.mk_instance("tile")
+        m = rsg.mk_instance("mask")
+        rsg.connect(t, m, 1)
+        rsg.mk_cell("encoded", t)
+        rsg.declare_interface("encoded", "encoded", 1, t, t, 1)
+        interface = rsg.interfaces.lookup("encoded", "encoded", 1)
+        assert interface.vector == Vec2(12, 0)

@@ -1,0 +1,176 @@
+"""Tests for the D4 orientation group (paper section 2.6, Figure 2.5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import (
+    ALL_ORIENTATIONS,
+    EAST,
+    FLIP_EAST,
+    FLIP_NORTH,
+    FLIP_SOUTH,
+    FLIP_WEST,
+    NORTH,
+    REFLECTIONS,
+    ROTATIONS,
+    SOUTH,
+    WEST,
+    Orientation,
+)
+
+orientations = st.sampled_from(ALL_ORIENTATIONS)
+coords = st.integers(min_value=-1000, max_value=1000)
+
+
+class TestFigure25:
+    """The coordinate-mapping table of Figure 2.5, verbatim."""
+
+    def test_north_is_identity(self):
+        assert NORTH.apply(3, 5) == (3, 5)
+
+    def test_south_negates_both(self):
+        assert SOUTH.apply(3, 5) == (-3, -5)
+
+    def test_east_maps_x_to_y(self):
+        # East: x coordinate <- y, y coordinate <- -x
+        assert EAST.apply(3, 5) == (5, -3)
+
+    def test_west_maps_x_to_minus_y(self):
+        assert WEST.apply(3, 5) == (-5, 3)
+
+    @pytest.mark.parametrize(
+        "orientation, expected",
+        [(NORTH, (3, 5)), (SOUTH, (-3, -5)), (EAST, (5, -3)), (WEST, (-5, 3))],
+    )
+    def test_table_rows(self, orientation, expected):
+        assert orientation.apply(3, 5) == expected
+
+
+class TestGroupStructure:
+    def test_exactly_eight_orientations(self):
+        assert len(ALL_ORIENTATIONS) == 8
+        assert len(set(ALL_ORIENTATIONS)) == 8
+
+    def test_rotations_and_reflections_partition(self):
+        assert set(ROTATIONS) | set(REFLECTIONS) == set(ALL_ORIENTATIONS)
+        assert not set(ROTATIONS) & set(REFLECTIONS)
+
+    def test_interning(self):
+        assert Orientation(1, 0) is WEST
+        assert Orientation(5, 0) is WEST  # r mod 4
+        assert Orientation(0, 2) is FLIP_NORTH  # k normalised to bool
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            NORTH.r = 2
+
+    @given(orientations, orientations)
+    def test_closure(self, a, b):
+        assert a.compose(b) in ALL_ORIENTATIONS
+
+    @given(orientations, orientations, orientations)
+    def test_associativity(self, a, b, c):
+        assert a.compose(b).compose(c) == a.compose(b.compose(c))
+
+    @given(orientations)
+    def test_identity_element(self, a):
+        assert NORTH.compose(a) == a
+        assert a.compose(NORTH) == a
+
+    @given(orientations)
+    def test_inverse(self, a):
+        assert a.compose(a.inverse()) == NORTH
+        assert a.inverse().compose(a) == NORTH
+
+    @given(orientations)
+    def test_reflections_are_involutions(self, a):
+        """Section 2.6.1: if k = 1 then O^-1 = O."""
+        if a.is_reflection:
+            assert a.inverse() == a
+            assert a.compose(a) == NORTH
+
+    @given(orientations, orientations)
+    def test_composition_matches_matrices(self, a, b):
+        ma = np.array(a.matrix())
+        mb = np.array(b.matrix())
+        mc = np.array(a.compose(b).matrix())
+        assert (ma @ mb == mc).all()
+
+    @given(orientations, coords, coords)
+    def test_apply_matches_matrix(self, a, x, y):
+        matrix = np.array(a.matrix())
+        assert tuple(matrix @ np.array([x, y])) == a.apply(x, y)
+
+    @given(orientations)
+    def test_determinant_signs(self, a):
+        det = int(np.linalg.det(np.array(a.matrix())))
+        assert det == (-1 if a.is_reflection else 1)
+
+    def test_group_is_nonabelian(self):
+        assert EAST.compose(FLIP_NORTH) != FLIP_NORTH.compose(EAST)
+
+    @given(orientations, orientations)
+    def test_inverse_of_composition(self, a, b):
+        assert a.compose(b).inverse() == b.inverse().compose(a.inverse())
+
+
+class TestCompositionRules:
+    """The explicit composition formulas of section 2.6.2."""
+
+    @given(orientations, orientations)
+    def test_rotation_part(self, o2, o1):
+        composed = o2.compose(o1)
+        if o2.k:
+            assert composed.r == (o2.r - o1.r) % 4
+        else:
+            assert composed.r == (o2.r + o1.r) % 4
+
+    @given(orientations, orientations)
+    def test_reflection_part_is_xor(self, o2, o1):
+        assert o2.compose(o1).k == (o2.k ^ o1.k)
+
+
+class TestNames:
+    @pytest.mark.parametrize(
+        "name, orientation",
+        [
+            ("north", NORTH),
+            ("south", SOUTH),
+            ("east", EAST),
+            ("west", WEST),
+            ("flip_north", FLIP_NORTH),
+            ("flip_east", FLIP_EAST),
+            ("flip_south", FLIP_SOUTH),
+            ("flip_west", FLIP_WEST),
+            ("fnorth", FLIP_NORTH),
+            ("NORTH", NORTH),
+            (" East ", EAST),
+        ],
+    )
+    def test_from_name(self, name, orientation):
+        assert Orientation.from_name(name) == orientation
+
+    def test_from_name_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Orientation.from_name("northwest")
+
+    @given(orientations)
+    def test_name_round_trip(self, a):
+        assert Orientation.from_name(a.name) == a
+
+    def test_repr(self):
+        assert repr(FLIP_WEST) == "Orientation.FLIP_WEST"
+
+
+class TestAxisBehaviour:
+    @given(orientations)
+    def test_swaps_axes_iff_odd_rotation(self, a):
+        vertical = a.apply(0, 1)
+        swapped = vertical[1] == 0
+        assert a.swaps_axes() == swapped
+
+    def test_manhattan_preserving(self):
+        for a in ALL_ORIENTATIONS:
+            x, y = a.apply(3, 7)
+            assert abs(x) + abs(y) == 10

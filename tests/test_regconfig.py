@@ -1,0 +1,97 @@
+"""Tests for register configuration tables and the retimed design file."""
+
+import pytest
+
+from repro.lang import parse_parameters
+from repro.layout import flatten_cell
+from repro.multiplier import (
+    RegisterConfiguration,
+    generate_retimed_multiplier,
+    generate_via_language,
+    register_configuration,
+    report_for,
+)
+
+
+class TestConfiguration:
+    def test_beta_one_matches_appendix_b_profile(self):
+        config = register_configuration(4, 4, beta=1)
+        assert [config.top[i] for i in range(1, 5)] == [1, 2, 3, 4]
+        assert [config.bottom[i] for i in range(1, 5)] == [4, 3, 2, 1]
+        assert config.right_length == (3 * 4 + 1 + 1) // 2
+
+    def test_beta_two_halves_heights(self):
+        config = register_configuration(6, 6, beta=2)
+        assert [config.top[i] for i in range(1, 7)] == [1, 1, 2, 2, 3, 3]
+
+    def test_heights_never_below_one(self):
+        config = register_configuration(3, 3, beta=10)
+        assert all(height == 1 for height in config.top.values())
+        assert config.right_length == 1
+
+    def test_total_registers_decreases_with_beta(self):
+        totals = [
+            register_configuration(8, 8, beta).total_registers()
+            for beta in (1, 2, 4)
+        ]
+        assert totals[0] > totals[1] > totals[2]
+
+    def test_bad_beta(self):
+        with pytest.raises(ValueError):
+            register_configuration(4, 4, beta=0)
+
+
+class TestParameterRoundTrip:
+    def test_bindings_keys(self):
+        config = register_configuration(3, 3, beta=1)
+        bindings = config.as_parameter_bindings()
+        assert bindings[("topcount", (2,))] == 2
+        assert bindings[("bottomcount", (1,))] == 3
+        assert ("rightlen", (1,)) in bindings
+
+    def test_parameter_text_parses_back(self):
+        config = register_configuration(3, 3, beta=2)
+        parsed = parse_parameters(config.as_parameter_text())
+        assert parsed.bindings == config.as_parameter_bindings()
+
+    def test_indexed_binding_syntax(self):
+        parsed = parse_parameters("topcount.4=7\nmatrix.2.3=9")
+        assert parsed.bindings[("topcount", (4,))] == 7
+        assert parsed.bindings[("matrix", (2, 3))] == 9
+
+    def test_indexed_binding_rejects_non_integer(self):
+        from repro.core.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_parameters('topcount.1="x"')
+
+
+class TestRetimedDesignFile:
+    def test_beta_one_equals_original_design_file(self):
+        """The configuration-table path at beta=1 reproduces the
+        Appendix B layout exactly."""
+        retimed, _ = generate_retimed_multiplier(4, 4, beta=1)
+        original, _ = generate_via_language(4, 4)
+        assert flatten_cell(retimed).same_geometry(flatten_cell(original))
+
+    @pytest.mark.parametrize("beta", [2, 3])
+    def test_higher_beta_fewer_registers(self, beta):
+        systolic, _ = generate_retimed_multiplier(4, 4, beta=1)
+        relaxed, _ = generate_retimed_multiplier(4, 4, beta=beta)
+        assert (
+            report_for(relaxed, 4, 4).registers
+            < report_for(systolic, 4, 4).registers
+        )
+
+    def test_inner_array_unchanged_by_beta(self):
+        """Retiming 'preserves the regularity of the inner array, but
+        adds irregularity to the periphery' — basic cell count constant."""
+        for beta in (1, 2, 4):
+            top, _ = generate_retimed_multiplier(3, 3, beta=beta)
+            assert report_for(top, 3, 3).basic_cells == 3 * 4
+
+    def test_register_count_matches_configuration(self):
+        beta = 2
+        top, _ = generate_retimed_multiplier(5, 5, beta=beta)
+        config = register_configuration(5, 5, beta=beta)
+        assert report_for(top, 5, 5).registers == config.total_registers()

@@ -1,0 +1,63 @@
+"""Tests for the ASCII and SVG renderers."""
+
+from repro.core import CellDefinition
+from repro.geometry import Box
+from repro.layout import ascii_render, svg_render
+from repro.layout.database import FlatLayout
+
+
+def sample_layout():
+    flat = FlatLayout("t")
+    flat.add("metal", Box(0, 0, 10, 4))
+    flat.add("poly", Box(2, 0, 4, 8))
+    return flat
+
+
+class TestAscii:
+    def test_contains_legend(self):
+        art = ascii_render(sample_layout())
+        assert "metal" in art and "poly" in art
+
+    def test_empty(self):
+        assert ascii_render(FlatLayout("e")) == "(empty layout)"
+
+    def test_decimation(self):
+        flat = FlatLayout("big")
+        flat.add("m", Box(0, 0, 1000, 1000))
+        art = ascii_render(flat, max_width=20, max_height=20)
+        body = art.splitlines()[0]
+        assert len(body) <= 20
+        assert "scale 1:" in art
+
+    def test_cell_input(self):
+        cell = CellDefinition("c")
+        cell.add_box("m", 0, 0, 4, 4)
+        assert "#" in ascii_render(cell)
+
+    def test_later_layers_overwrite(self):
+        art = ascii_render(sample_layout(), max_width=40, max_height=20)
+        assert "*" in art  # poly drawn over metal
+
+
+class TestSvg:
+    def test_valid_structure(self):
+        svg = svg_render(sample_layout())
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<g ") == 2
+        assert svg.count("<rect") >= 3  # background + 2 boxes
+
+    def test_empty(self):
+        assert "<svg" in svg_render(FlatLayout("e"))
+
+    def test_y_flip(self):
+        flat = FlatLayout("t")
+        flat.add("m", Box(0, 0, 2, 2))
+        flat.add("m", Box(0, 8, 2, 10))
+        svg = svg_render(flat, scale=1.0)
+        # The higher box (y 8..10) must appear nearer the SVG top (y=0).
+        import re
+
+        ys = [float(m) for m in re.findall(r'<rect x="[\d.]+" y="([\d.]+)"', svg)]
+        assert ys[1] < ys[0] or ys[0] < ys[1]  # both present, distinct
+        assert 0.0 in ys

@@ -1,0 +1,141 @@
+"""Tests for retiming and the pipelined simulator (chapter 5, Figure 5.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.multiplier import (
+    PipelinedSimulator,
+    build_baugh_wooley,
+    from_bits,
+    reference_product,
+    retime,
+    to_bits,
+    to_signed,
+)
+
+_NET44 = build_baugh_wooley(4, 4)
+_NET66 = build_baugh_wooley(6, 6)
+
+
+def drive(sim, pairs, m, n):
+    stream = []
+    for a, b in pairs:
+        vector = {}
+        for index, bit in enumerate(to_bits(a, m)):
+            vector[f"a{index}"] = bit
+        for index, bit in enumerate(to_bits(b, n)):
+            vector[f"b{index}"] = bit
+        stream.append(vector)
+    outputs = sim.run_stream(stream)
+    products = []
+    for out in outputs:
+        products.append(to_signed(from_bits([out[f"p{k}"] for k in range(m + n)]), m + n))
+    return products
+
+
+class TestRegisterAssignment:
+    def test_combinational_case(self):
+        assignment = retime(_NET44, None)
+        assert assignment.latency == 0
+        assert assignment.total_registers() == 0
+
+    def test_beta_ge_critical_path_is_combinational(self):
+        assignment = retime(_NET44, 100)
+        assert assignment.total_registers() == 0
+
+    def test_bit_systolic_run_length_one(self):
+        """Figure 5.2a: at most one full-adder delay between registers."""
+        assignment = retime(_NET44, 1)
+        assert assignment.max_combinational_run() == 1
+
+    def test_beta_two_run_length(self):
+        """Figure 5.2b: at most two combinational delays."""
+        assignment = retime(_NET66, 2)
+        assert assignment.max_combinational_run() <= 2
+
+    @pytest.mark.parametrize("beta", [1, 2, 3, 4])
+    def test_run_length_never_exceeds_beta(self, beta):
+        assignment = retime(_NET66, beta)
+        assert assignment.max_combinational_run() <= beta
+
+    def test_latency_scales_inversely_with_beta(self):
+        l1 = retime(_NET66, 1).latency
+        l2 = retime(_NET66, 2).latency
+        l3 = retime(_NET66, 3).latency
+        assert l1 > l2 > l3
+
+    def test_register_count_decreases_with_beta(self):
+        """The Figure 5.2 tradeoff: deeper pipelining, more registers."""
+        r1 = retime(_NET66, 1).total_registers()
+        r2 = retime(_NET66, 2).total_registers()
+        r3 = retime(_NET66, 3).total_registers()
+        assert r1 > r2 > r3
+
+    def test_peripheral_registers_exist(self):
+        """Input skew and output deskew stacks are nonempty (the edge
+        effects of chapter 5)."""
+        assignment = retime(_NET44, 1)
+        assert assignment.peripheral_registers() > 0
+        assert assignment.internal_registers() > 0
+
+    def test_path_register_balance(self):
+        """Every input-to-output path crosses exactly `latency` registers
+        (the retiming invariant) — checked via stage consistency."""
+        assignment = retime(_NET66, 2)
+        net = _NET66
+        for name, cell in net.cells.items():
+            for position, (kind, target) in enumerate(cell.inputs):
+                count = assignment.edge_registers[(name, position)]
+                if kind == "cell":
+                    assert count == assignment.stage[name] - assignment.stage[target]
+                elif kind == "input":
+                    assert count == assignment.stage[name] - 1
+
+    def test_beta_zero_rejected(self):
+        with pytest.raises(ValueError):
+            retime(_NET44, 0)
+
+
+class TestPipelinedSimulator:
+    @pytest.mark.parametrize("beta", [1, 2, 3, None])
+    def test_stream_correctness(self, beta):
+        assignment = retime(_NET44, beta)
+        sim = PipelinedSimulator(assignment)
+        pairs = [(a, b) for a in (-8, -3, 0, 5, 7) for b in (-8, -1, 2, 7)]
+        products = drive(sim, pairs, 4, 4)
+        assert products == [reference_product(a, b, 4, 4) for a, b in pairs]
+
+    def test_throughput_one_per_cycle(self):
+        """Pipelining preserves single-cycle throughput: N inputs need
+        exactly N + latency cycles."""
+        assignment = retime(_NET44, 1)
+        sim = PipelinedSimulator(assignment)
+        cycles = 0
+        vector = {name: 0 for name in _NET44.inputs}
+        for _ in range(10 + assignment.latency):
+            sim.step(vector)
+            cycles += 1
+        assert cycles == 10 + assignment.latency
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-32, 31), st.integers(-32, 31)),
+            min_size=1,
+            max_size=12,
+        ),
+        st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_streams_6x6(self, pairs, beta):
+        assignment = retime(_NET66, beta)
+        sim = PipelinedSimulator(assignment)
+        products = drive(sim, pairs, 6, 6)
+        assert products == [reference_product(a, b, 6, 6) for a, b in pairs]
+
+    def test_back_to_back_dependency(self):
+        """Consecutive inputs must not interfere (no structural hazards)."""
+        assignment = retime(_NET44, 1)
+        sim = PipelinedSimulator(assignment)
+        pairs = [(7, 7), (-8, -8), (7, -8), (-8, 7), (0, 0)]
+        products = drive(sim, pairs, 4, 4)
+        assert products == [reference_product(a, b, 4, 4) for a, b in pairs]

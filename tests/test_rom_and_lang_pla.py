@@ -1,0 +1,108 @@
+"""Tests for the ROM generator and the PLA design-file path."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.layout import flatten_cell
+from repro.pla import TruthTable, generate_pla, generate_pla_via_language
+from repro.pla.rom import generate_rom, read_rom_back, rom_table
+
+
+class TestRomTable:
+    def test_address_bits(self):
+        table = rom_table([1, 2, 3, 4, 5], data_bits=4)
+        assert table.num_inputs == 3  # 5 words -> 3 address bits
+        assert table.num_terms == 5
+        assert table.num_outputs == 4
+
+    def test_single_word(self):
+        table = rom_table([7], data_bits=3)
+        assert table.num_inputs == 1
+
+    def test_word_too_wide(self):
+        with pytest.raises(ValueError):
+            rom_table([8], data_bits=3)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            rom_table([], data_bits=4)
+
+
+class TestRomLayout:
+    def test_round_trip(self):
+        words = [0b1010, 0b0001, 0b1111, 0b0110]
+        rom, _ = generate_rom(words, data_bits=4)
+        assert read_rom_back(rom, len(words), 4) == words
+
+    @given(
+        st.lists(st.integers(0, 255), min_size=1, max_size=10),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_contents_round_trip(self, words):
+        rom, _ = generate_rom(words, data_bits=8)
+        assert read_rom_back(rom, len(words), 8) == words
+
+    def test_rom_and_pla_share_library(self):
+        from repro.pla import load_pla_library
+
+        rsg = load_pla_library()
+        generate_rom([1, 2], 2, rsg=rsg, name="rom0")
+        generate_pla(TruthTable.parse("10|1"), rsg=rsg, name="pla0")
+        assert "rom0" in rsg.cells and "pla0" in rsg.cells
+
+
+class TestPlaDesignFile:
+    TABLE = TruthTable.parse("1-0|10\n01-|11\n-11|01")
+
+    def test_language_path_equals_api_path(self):
+        lang, _ = generate_pla_via_language(self.TABLE)
+        api = generate_pla(self.TABLE, name="api")
+        assert flatten_cell(lang).same_geometry(flatten_cell(api))
+
+    def test_table_primitives(self):
+        """The encoding-table builtins (section 4's 'primitives for
+        manipulating encoding tables')."""
+        from repro.lang import Interpreter
+
+        interp = Interpreter()
+        interp.set_parameter("tbl", self.TABLE)
+        assert interp.run("(table_terms tbl)") == 3
+        assert interp.run("(table_inputs tbl)") == 3
+        assert interp.run("(table_outputs tbl)") == 2
+        assert interp.run("(table_literal tbl 1 1)") == 1
+        assert interp.run("(table_literal tbl 1 2)") == -1
+        assert interp.run("(table_literal tbl 1 3)") == 0
+        assert interp.run("(table_output tbl 2 2)") == 1
+
+    def test_builtin_error_wrapped(self):
+        from repro.core.errors import EvalError
+        from repro.lang import Interpreter
+
+        interp = Interpreter()
+        interp.set_parameter("tbl", self.TABLE)
+        with pytest.raises(EvalError):
+            interp.run("(table_literal tbl 99 1)")
+
+    def test_register_builtin(self):
+        from repro.core.errors import EvalError
+        from repro.lang import Interpreter
+
+        interp = Interpreter()
+        interp.register_builtin("double", lambda value: value * 2)
+        assert interp.run("(double 21)") == 42
+        with pytest.raises(EvalError):
+            interp.register_builtin("mbad", lambda: None)
+        with pytest.raises(EvalError):
+            interp.register_builtin("cond", lambda: None)
+
+    def test_same_design_file_different_personality(self):
+        """Delayed binding: one design file, two PLAs."""
+        other = TruthTable.parse("11|1\n00|1")
+        first, _ = generate_pla_via_language(self.TABLE, name="pla_a")
+        second, _ = generate_pla_via_language(other, name="pla_b")
+        from repro.pla import extract_personality
+
+        assert extract_personality(first).and_plane == self.TABLE.and_plane
+        assert extract_personality(second).and_plane == other.and_plane

@@ -1,0 +1,231 @@
+"""Tests for scan-line constraint generation (section 6.4.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compact import (
+    TECH_A,
+    ConstraintSystem,
+    add_width_constraints,
+    build_edge_variables,
+    check_layout,
+    naive_constraints,
+    rebuild_boxes,
+    solve_longest_path,
+    visibility_constraints,
+)
+from repro.geometry import Box
+
+
+def compact(boxes, method="visibility", width_mode="preserve", **kwargs):
+    system, comp = build_edge_variables(boxes)
+    add_width_constraints(system, comp, TECH_A, mode=width_mode)
+    if method == "visibility":
+        visibility_constraints(system, comp, TECH_A)
+    else:
+        naive_constraints(system, comp, TECH_A, **kwargs)
+    stats = solve_longest_path(system)
+    rebuilt = rebuild_boxes(comp, stats.solution)
+    layers = {}
+    for layer, box in rebuilt:
+        layers.setdefault(layer, []).append(box)
+    return layers, system, stats
+
+
+class TestWidthConstraints:
+    def test_preserve_mode_pins_width(self):
+        layers, _, _ = compact([("metal1", Box(0, 0, 7, 4))])
+        assert layers["metal1"][0].width == 7
+
+    def test_min_mode_shrinks_to_rule(self):
+        layers, _, _ = compact(
+            [("metal1", Box(0, 0, 7, 4))], width_mode="min"
+        )
+        assert layers["metal1"][0].width == TECH_A.width("metal1")
+
+    def test_sizing_directive_overrides(self):
+        system, comp = build_edge_variables(
+            [("poly", Box(0, 0, 2, 10))], tags=["gatecell"]
+        )
+        add_width_constraints(
+            system, comp, TECH_A, mode="min", sizing={("gatecell", "poly"): 5}
+        )
+        stats = solve_longest_path(system)
+        assert stats.solution[comp[0].right] - stats.solution[comp[0].left] == 5
+
+
+class TestSpacing:
+    def test_pair_pushed_to_rule_spacing(self):
+        layers, _, _ = compact(
+            [("diff", Box(0, 0, 2, 10)), ("diff", Box(20, 0, 22, 10))]
+        )
+        a, b = sorted(layers["diff"], key=lambda box: box.xmin)
+        assert b.xmin - a.xmax == TECH_A.min_spacing["diff"]
+
+    def test_no_constraint_without_y_overlap(self):
+        layers, _, _ = compact(
+            [("diff", Box(0, 0, 2, 5)), ("diff", Box(20, 10, 22, 15))]
+        )
+        xs = sorted(box.xmin for box in layers["diff"])
+        assert xs == [0, 0]  # both slide fully left
+
+    def test_inter_layer_rule(self):
+        layers, _, _ = compact(
+            [("poly", Box(0, 0, 2, 10)), ("diff", Box(20, 0, 22, 10))]
+        )
+        gap = layers["diff"][0].xmin - layers["poly"][0].xmax
+        assert gap == TECH_A.spacing("poly", "diff")
+
+    def test_unrelated_layers_free(self):
+        layers, _, _ = compact(
+            [("implant", Box(0, 0, 2, 10)), ("metal1", Box(20, 0, 23, 10))]
+        )
+        assert layers["metal1"][0].xmin == 0
+
+    def test_drawn_crossing_exempt(self):
+        """Different layers crossing in the drawing stay legal."""
+        layers, system, _ = compact(
+            [("poly", Box(0, 0, 2, 10)), ("diff", Box(0, 4, 10, 6))]
+        )
+        assert not check_layout(layers, TECH_A)
+
+
+class TestConnections:
+    def test_overlapping_boxes_stay_connected(self):
+        layers, _, _ = compact(
+            [("metal1", Box(0, 0, 10, 3)), ("metal1", Box(8, 0, 18, 3)),
+             ("metal1", Box(40, 0, 43, 3))]
+        )
+        a, b, c = sorted(layers["metal1"], key=lambda box: box.xmin)
+        assert a.overlaps(b)
+
+    def test_visibility_shadow_transitivity(self):
+        """Three boxes in a row: the visibility scanner emits a-b and b-c
+        but not a-c (implied), the naive scanner emits all three."""
+        boxes = [
+            ("diff", Box(0, 0, 2, 10)),
+            ("diff", Box(10, 0, 12, 10)),
+            ("diff", Box(20, 0, 22, 10)),
+        ]
+        _, sys_vis, _ = compact(boxes, method="visibility")
+        _, sys_naive, _ = compact(boxes, method="naive")
+        vis_spacing = [c for c in sys_vis.constraints if c.kind == "spacing"]
+        naive_spacing = [c for c in sys_naive.constraints if c.kind == "spacing"]
+        assert len(vis_spacing) == 2
+        assert len(naive_spacing) == 3
+
+    def test_both_methods_give_same_width_here(self):
+        boxes = [
+            ("diff", Box(0, 0, 2, 10)),
+            ("diff", Box(10, 0, 12, 10)),
+            ("diff", Box(20, 0, 22, 10)),
+        ]
+        l1, _, s1 = compact(boxes, method="visibility")
+        l2, _, s2 = compact(boxes, method="naive")
+        assert s1.width() == s2.width()
+
+
+class TestFigure65Fragmentation:
+    FRAGMENTS = [("diff", Box(2 * k, 0, 2 * (k + 1), 10)) for k in range(6)]
+
+    def test_indiscriminate_forces_n_lambda(self):
+        """'Indiscriminately generating constraints ... would force the
+        x size to be at least n*lambda.'"""
+        layers, _, stats = compact(
+            self.FRAGMENTS, method="naive", merge_aware=False
+        )
+        n = len(self.FRAGMENTS)
+        assert stats.width() >= n * TECH_A.min_spacing["diff"]
+
+    def test_visibility_allows_minimum_width(self):
+        _, _, stats = compact(self.FRAGMENTS, method="visibility",
+                              width_mode="min")
+        assert stats.width() == TECH_A.width("diff")
+
+    def test_merge_aware_naive_still_overconstrains(self):
+        """Figure 6.4: the band scan generates constraints across hidden
+        edges 'regardless of the presence of the middle box', so even the
+        connection-aware naive generator cannot reach the minimum."""
+        _, _, stats = compact(self.FRAGMENTS, method="naive",
+                              width_mode="min", merge_aware=True)
+        assert stats.width() > TECH_A.width("diff")
+
+
+class TestFigure66HiddenEdges:
+    LAYOUT = [
+        ("diff", Box(0, 0, 4, 20)),     # left box
+        ("diff", Box(10, 0, 14, 20)),   # right box
+        ("diff", Box(2, 0, 12, 8)),     # hides the gap only below y=8
+    ]
+
+    def test_skip_hidden_heuristic_is_illegal(self):
+        layers, _, _ = compact(self.LAYOUT, method="naive", skip_hidden=True)
+        assert check_layout(layers, TECH_A)
+
+    def test_visibility_method_is_legal(self):
+        layers, _, _ = compact(self.LAYOUT, method="visibility")
+        assert not check_layout(layers, TECH_A)
+
+    def test_full_naive_is_legal_but_overconstrained(self):
+        layers, _, _ = compact(self.LAYOUT, method="naive")
+        assert not check_layout(layers, TECH_A)
+
+
+boxes_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["diff", "poly", "metal1"]),
+        st.builds(
+            lambda x, y, w, h: Box(x, y, x + w, y + h),
+            st.integers(0, 60).map(lambda v: v * 2),
+            st.integers(0, 30).map(lambda v: v * 2),
+            st.integers(2, 8),
+            st.integers(2, 8),
+        ),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestLegalityProperty:
+    @given(boxes_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_visibility_output_always_drc_clean(self, boxes):
+        """The compactor's defining property: visibility-generated
+        constraints keep every *initially legal* facing pair legal."""
+        system, comp = build_edge_variables(boxes)
+        add_width_constraints(system, comp, TECH_A, mode="preserve")
+        visibility_constraints(system, comp, TECH_A)
+        try:
+            stats = solve_longest_path(system)
+        except Exception:
+            return  # drawn overlaps can make preserve-width infeasible
+        layers = {}
+        for layer, box in rebuild_boxes(comp, stats.solution):
+            layers.setdefault(layer, []).append(box)
+        before = {
+            (v.kind, v.layer_a, v.layer_b)
+            for v in check_layout(
+                {
+                    layer: [b for l2, b in boxes if l2 == layer]
+                    for layer, _ in boxes
+                },
+                TECH_A,
+            )
+        }
+        after = check_layout(layers, TECH_A)
+        # No *new* violation classes appear; drawn-illegal inputs stay as is.
+        for violation in after:
+            assert (violation.kind, violation.layer_a, violation.layer_b) in before
+
+    @given(boxes_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_solution_satisfies_all_constraints(self, boxes):
+        system, comp = build_edge_variables(boxes)
+        add_width_constraints(system, comp, TECH_A, mode="min")
+        visibility_constraints(system, comp, TECH_A)
+        try:
+            stats = solve_longest_path(system)
+        except Exception:
+            return
+        assert system.check(stats.solution) == []

@@ -1,0 +1,105 @@
+"""Tests for two-pass x/y compaction (the greedy 1-D baseline of §6.1)."""
+
+import pytest
+
+from repro.compact import TECH_A, check_layout, compact_layout_xy
+from repro.geometry import Box
+from repro.layout.database import FlatLayout
+
+
+def scattered_layout():
+    flat = FlatLayout("scatter")
+    flat.add("diff", Box(0, 0, 2, 8))
+    flat.add("diff", Box(30, 0, 32, 8))
+    flat.add("diff", Box(0, 40, 2, 48))
+    flat.add("poly", Box(15, 20, 17, 30))
+    return flat
+
+
+class TestTwoPass:
+    def test_both_dimensions_shrink(self):
+        layout = scattered_layout()
+        bbox = layout.bounding_box()
+        first, second = compact_layout_xy(layout, TECH_A)
+        assert first.width_after < bbox.width
+        assert second.width_after < bbox.height
+
+    def test_final_geometry_legal(self):
+        _, second = compact_layout_xy(scattered_layout(), TECH_A)
+        assert check_layout(second.layers, TECH_A) == []
+
+    def test_pass_order_matters(self):
+        """The greedy-per-dimension limitation: xy and yx orders can
+        reach different bounding boxes."""
+        flat = FlatLayout("corner")
+        flat.add("diff", Box(0, 0, 2, 20))
+        flat.add("diff", Box(10, 0, 12, 2))
+        flat.add("diff", Box(10, 14, 12, 16))
+        _, xy = compact_layout_xy(flat, TECH_A, order="xy")
+        _, yx = compact_layout_xy(flat, TECH_A, order="yx")
+        assert check_layout(xy.layers, TECH_A) == []
+        assert check_layout(yx.layers, TECH_A) == []
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            compact_layout_xy(scattered_layout(), TECH_A, order="xx")
+
+    def test_rubber_band_composes(self):
+        flat = FlatLayout("jog2d")
+        flat.add("metal1", Box(10, 0, 13, 10))
+        flat.add("metal1", Box(10, 10, 13, 20))
+        flat.add("metal1", Box(0, 0, 3, 10))
+        _, second = compact_layout_xy(flat, TECH_A, rubber_band=True)
+        assert check_layout(second.layers, TECH_A) == []
+
+
+class TestLanguageErrorPaths:
+    """Extra coverage of interpreter failure modes."""
+
+    def test_subcell_on_non_environment(self):
+        from repro.core.errors import EvalError
+        from repro.lang import Interpreter
+
+        interp = Interpreter()
+        with pytest.raises(EvalError):
+            interp.run("(setq x 5) (subcell x y)")
+
+    def test_cond_with_malformed_clause(self):
+        from repro.core.errors import EvalError
+        from repro.lang import Interpreter
+
+        with pytest.raises(EvalError):
+            Interpreter().run("(cond 5)")
+
+    def test_do_with_bad_header(self):
+        from repro.core.errors import EvalError
+        from repro.lang import Interpreter
+
+        with pytest.raises(EvalError):
+            Interpreter().run("(do (i 1) 5)")
+
+    def test_form_head_must_be_symbol(self):
+        from repro.core.errors import EvalError
+        from repro.lang import Interpreter
+
+        with pytest.raises(EvalError):
+            Interpreter().run("((+ 1 2) 3)")
+
+    def test_assign_to_non_variable(self):
+        from repro.core.errors import EvalError
+        from repro.lang import Interpreter
+
+        with pytest.raises(EvalError):
+            Interpreter().run("(assign 5 6)")
+
+    def test_empty_form_is_nil(self):
+        from repro.lang import Interpreter
+
+        assert Interpreter().run("()") is None
+
+    def test_declare_interface_arity(self):
+        from repro.core.errors import EvalError
+        from repro.lang import Interpreter
+
+        with pytest.raises(EvalError):
+            Interpreter().run("(declare_interface a b 1)")
