@@ -1,0 +1,20 @@
+# Convenience targets; everything also runs as plain pytest commands
+# (see README.md).  PYTHONPATH=src keeps the targets usable without an
+# editable install.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench docs-check all
+
+test:
+	$(PY) -m pytest tests/ -q
+
+bench:
+	$(PY) -m pytest benchmarks/ -q
+
+# Fails when public modules in src/repro/compact/ lack docstrings —
+# the documentation surface the architecture notes depend on.
+docs-check:
+	$(PY) -m pytest tests/test_docstrings.py -q
+
+all: test bench docs-check

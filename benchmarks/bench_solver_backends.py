@@ -1,0 +1,192 @@
+"""E-SOLVE — solver-backend shootout on compaction workloads.
+
+Three registered backends solve the same difference-constraint systems
+(:mod:`repro.compact.solvers`):
+
+* ``bellman-ford`` — the paper's sorted-edge relaxation (section 6.4.2);
+* ``topological`` — one O(V+E) sweep in condensation order;
+* ``incremental`` — cone-limited re-solve reusing the previous run.
+
+Workload 1 is the leaf-cell rounding search: a chain-interfaced library
+solved at its cost-optimal (binding) pitches.  There the folded
+inter-cell constraints run *against* the drawn abscissa order, so the
+sorted-edge heuristic degrades — each interface binds one pass later
+than its predecessor and Bellman-Ford needs roughly one pass per
+interface, while the topological sweep stays at one.  Workload 2 is the
+pitch-tradeoff sweep of ``bench_pitch_tradeoff.py`` writ large: dozens
+of re-solves of one system at nearby pitch values, where the
+incremental backend relaxes only the cone the pitch change can reach.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.compact import LeafCellCompactor, TECH_A, get_solver
+from repro.core import Rsg
+from repro.geometry import Box, NORTH, Vec2
+
+CELLS = 16
+BOXES = 60
+
+
+def build_library(cells=CELLS, boxes=BOXES):
+    """A chain-interfaced leaf-cell library (one pitch per interface)."""
+    rng = random.Random(3)
+    rsg = Rsg()
+    names = []
+    for c in range(cells):
+        name = f"C{c}"
+        cell = rsg.define_cell(name)
+        for b in range(boxes):
+            x = b * 9 + rng.randint(0, 2)
+            row = b % 4
+            cell.add_box("metal1", x, row * 8, x + 4, row * 8 + 5)
+        names.append(name)
+    for i in range(cells - 1):
+        rsg.interface_by_example(
+            names[i], Vec2(0, 0), NORTH,
+            names[i + 1], Vec2(boxes * 9 + 4, 0), NORTH, 1,
+        )
+    compactor = LeafCellCompactor(rsg, TECH_A, width_mode="min")
+    for name in names:
+        compactor.add_cell(name)
+    pitches = [
+        compactor.add_interface(names[i], names[i + 1], 1)
+        for i in range(cells - 1)
+    ]
+    return compactor.system, pitches
+
+
+def best_of(runs, action):
+    """Best wall time of ``runs`` calls (seconds)."""
+    times = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        action()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _impl_topological_vs_bellman_ford(report):
+    system, pitch_names = build_library()
+    # The LP-optimal (minimum-cost) assignment for uniform weights:
+    # every inter-cell constraint binds, the worst case for the
+    # abscissa-sorted relaxation order.
+    values = {name: 1 for name in pitch_names}
+    results = {}
+    rows = [
+        "E-SOLVE leaf-cell system at binding pitches"
+        f" ({len(system.variables)} vars, {len(system)} constraints):",
+        f"{'backend':>13} {'ms':>8} {'passes':>7} {'relaxations':>12}",
+    ]
+    for name in ("bellman-ford", "topological"):
+        backend = get_solver(name)
+        elapsed = best_of(7, lambda: backend.solve(system, pitches=values))
+        stats = backend.solve(system, pitches=values)
+        results[name] = (elapsed, stats)
+        rows.append(
+            f"{name:>13} {elapsed * 1e3:8.2f} {stats.passes:>7}"
+            f" {stats.relaxations:>12}"
+        )
+    ratio = results["bellman-ford"][0] / results["topological"][0]
+    rows.append(f"topological speedup over bellman-ford: {ratio:.1f}x")
+    report(*rows)
+    assert results["bellman-ford"][1].solution == results["topological"][1].solution
+    assert ratio >= 2.0
+
+
+def _impl_incremental_pitch_sweep(report):
+    system, pitch_names = build_library()
+    # The tradeoff sweep of bench_pitch_tradeoff.py: explore one
+    # interface's pitch while the rest of the library holds still, so
+    # each re-solve differs from the previous one in a handful of
+    # constraint weights.
+    swept = pitch_names[-1]
+    base = {name: 140 for name in pitch_names}
+    sweep = list(range(100, 140, 2))
+    bellman_ford = get_solver("bellman-ford")
+    incremental = get_solver("incremental")
+
+    def full_sweep():
+        return [
+            bellman_ford.solve(system, pitches={**base, swept: v})
+            for v in sweep
+        ]
+
+    def incremental_sweep():
+        return [
+            incremental.solve(system, pitches={**base, swept: v})
+            for v in sweep
+        ]
+
+    full_time = best_of(3, full_sweep)
+    incremental_time = best_of(3, incremental_sweep)
+    full = full_sweep()
+    reused = incremental_sweep()
+    rows = [
+        f"E-SOLVE pitch sweep, {len(sweep)} re-solves of the same system:",
+        f"{'strategy':>22} {'ms':>8} {'relax/solve':>12} {'reused/solve':>13}",
+        f"{'full bellman-ford':>22} {full_time * 1e3:8.1f}"
+        f" {sum(s.relaxations for s in full) // len(sweep):>12}"
+        f" {0:>13}",
+        f"{'incremental':>22} {incremental_time * 1e3:8.1f}"
+        f" {sum(s.relaxations for s in reused) // len(sweep):>12}"
+        f" {sum(s.reused for s in reused) // len(sweep):>13}",
+        f"incremental speedup: {full_time / incremental_time:.1f}x",
+    ]
+    report(*rows)
+    for a, b in zip(full, reused):
+        assert a.solution == b.solution
+    assert incremental_time < full_time
+
+
+def _impl_backends_agree_on_flat_workload(report):
+    from repro.compact import compact_layout
+    from repro.layout.database import FlatLayout
+
+    rng = random.Random(11)
+    layout = FlatLayout("shootout")
+    for i in range(300):
+        x = (i % 25) * 11 + rng.randint(0, 3)
+        y = (i // 25) * 9
+        layer = ("metal1", "poly", "diff")[i % 3]
+        layout.add(layer, Box(x, y, x + 4 + rng.randint(0, 2), y + 6))
+    widths = {}
+    rows = ["E-SOLVE flat compaction (300 boxes), same width per backend:"]
+    for name in ("bellman-ford", "topological", "incremental"):
+        result = compact_layout(layout, TECH_A, width_mode="min", solver=name)
+        widths[name] = result.width_after
+        rows.append(
+            f"  {name:>13}: width {result.width_before} ->"
+            f" {result.width_after} ({result.stats})"
+        )
+    report(*rows)
+    assert len(set(widths.values())) == 1
+
+
+@pytest.mark.parametrize("solver", ["bellman-ford", "topological", "incremental"])
+def test_backend_solve_time(benchmark, solver):
+    system, pitch_names = build_library(cells=8, boxes=40)
+    backend = get_solver(solver)
+    values = {name: 1 for name in pitch_names}
+    benchmark(lambda: backend.solve(system, pitches=values))
+
+
+def test_topological_vs_bellman_ford(benchmark, report):
+    benchmark.pedantic(
+        lambda: _impl_topological_vs_bellman_ford(report), rounds=1, iterations=1
+    )
+
+
+def test_incremental_pitch_sweep(benchmark, report):
+    benchmark.pedantic(
+        lambda: _impl_incremental_pitch_sweep(report), rounds=1, iterations=1
+    )
+
+
+def test_backends_agree_on_flat_workload(benchmark, report):
+    benchmark.pedantic(
+        lambda: _impl_backends_agree_on_flat_workload(report), rounds=1, iterations=1
+    )

@@ -16,6 +16,11 @@ Usage::
 
     python -m repro parameters.par
     python -m repro parameters.par --set xsize=8 --set ysize=8
+    python -m repro parameters.par --compact xy --solver topological
+
+``--compact`` runs the chapter-6 flat compactor over the generated cell
+before it is written; ``--solver`` picks the longest-path backend from
+the :mod:`repro.compact.solvers` registry.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .compact import TECH_A, TECH_B, available_solvers, compact_cell
 from .core.cell import CellDefinition
 from .core.errors import RsgError
 from .core.operators import Rsg
@@ -40,11 +46,17 @@ def run_flow(
     parameter_path: str,
     overrides: Optional[List[str]] = None,
     output_stream=None,
+    compact_axes: Optional[str] = None,
+    solver: Optional[str] = None,
+    technology: str = "A",
 ) -> CellDefinition:
     """Execute the full generation flow described by a parameter file.
 
     Returns the output cell.  ``overrides`` is a list of ``name=value``
     strings applied on top of the parameter file (sizes, mostly).
+    ``compact_axes`` (``"x"``, ``"y"``, ``"xy"``, ``"yx"``) runs the flat
+    compactor over the result before writing, using the named ``solver``
+    backend and the ``technology`` rule set ("A" or "B").
     """
     with open(parameter_path, "r", encoding="utf-8") as handle:
         text = handle.read()
@@ -77,6 +89,11 @@ def run_flow(
             " directive was given"
         )
 
+    if compact_axes:
+        cell = _compact_flow_cell(
+            cell, compact_axes, solver, technology, output_stream
+        )
+
     output_path = parameters.directives.get("output_file")
     output_format = parameters.directives.get("format", "cif").lower()
     if output_path:
@@ -92,6 +109,32 @@ def run_flow(
             raise RsgError(f"unknown output format {output_format!r}")
         if output_stream is not None:
             print(f"wrote {output_format} to {output_path}", file=output_stream)
+    return cell
+
+
+def _compact_flow_cell(
+    cell: CellDefinition,
+    axes: str,
+    solver: Optional[str],
+    technology: str,
+    output_stream,
+) -> CellDefinition:
+    """Run one flat-compaction pass per axis letter over ``cell``."""
+    if axes not in ("x", "y", "xy", "yx"):
+        raise RsgError(f"--compact takes x, y, xy or yx, not {axes!r}")
+    rules = {"A": TECH_A, "B": TECH_B}.get(technology.upper())
+    if rules is None:
+        raise RsgError(f"unknown technology {technology!r} (use A or B)")
+    for axis in axes:
+        cell, result = compact_cell(
+            cell, rules, axis=axis, width_mode="preserve", solver=solver
+        )
+        if output_stream is not None:
+            print(
+                f"compacted {axis}: width {result.width_before} ->"
+                f" {result.width_after} ({result.stats})",
+                file=output_stream,
+            )
     return cell
 
 
@@ -114,9 +157,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print an ASCII rendering of the result to stdout",
     )
+    parser.add_argument(
+        "--compact",
+        choices=["x", "y", "xy", "yx"],
+        metavar="AXES",
+        help="run the flat compactor over the result (x, y, xy or yx)",
+    )
+    parser.add_argument(
+        "--solver",
+        choices=list(available_solvers()),
+        help="longest-path backend for compaction (default: bellman-ford)",
+    )
+    parser.add_argument(
+        "--tech",
+        choices=["A", "B"],
+        help="design-rule technology used by --compact (default: A)",
+    )
     arguments = parser.parse_args(argv)
+    if not arguments.compact and (arguments.solver or arguments.tech):
+        parser.error("--solver/--tech have no effect without --compact")
     try:
-        cell = run_flow(arguments.parameter_file, arguments.set, sys.stdout)
+        cell = run_flow(
+            arguments.parameter_file,
+            arguments.set,
+            sys.stdout,
+            compact_axes=arguments.compact,
+            solver=arguments.solver,
+            technology=arguments.tech or "A",
+        )
     except (RsgError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -16,6 +16,16 @@ from .scanline import (
     visibility_constraints,
 )
 from .solver import SolveStats, solve_longest_path
+from .solvers import (
+    DEFAULT_SOLVER,
+    BellmanFordSolver,
+    IncrementalSolver,
+    SolverBackend,
+    TopologicalSolver,
+    available_solvers,
+    get_solver,
+    register_solver,
+)
 
 __all__ = [
     "Constraint",
@@ -49,4 +59,12 @@ __all__ = [
     "rebuild_boxes",
     "SolveStats",
     "solve_longest_path",
+    "DEFAULT_SOLVER",
+    "SolverBackend",
+    "BellmanFordSolver",
+    "TopologicalSolver",
+    "IncrementalSolver",
+    "available_solvers",
+    "get_solver",
+    "register_solver",
 ]

@@ -35,6 +35,7 @@ class Constraint:
     kind: str = ""
 
     def has_pitch_terms(self) -> bool:
+        """Whether this constraint carries a symbolic pitch term."""
         return bool(self.pitch_terms)
 
 
@@ -51,6 +52,8 @@ class ConstraintSystem:
 
     # ------------------------------------------------------------------
     def add_variable(self, name: Variable, initial: int = 0) -> Variable:
+        """Declare an edge variable (idempotent); ``initial`` is its
+        drawn abscissa, used by the sorted-edge solver heuristic."""
         if name not in self._variable_set:
             self._variable_set[name] = len(self.variables)
             self.variables.append(name)
@@ -58,6 +61,7 @@ class ConstraintSystem:
         return name
 
     def add_pitch(self, name: str) -> str:
+        """Declare a pitch variable lambda (idempotent)."""
         if name not in self.pitches:
             self.pitches.append(name)
         return name
@@ -70,6 +74,7 @@ class ConstraintSystem:
         pitch_terms: Iterable[Tuple[str, int]] = (),
         kind: str = "",
     ) -> Constraint:
+        """Add ``x[target] - x[source] >= weight + sum(coef * pitch)``."""
         if source not in self._variable_set or target not in self._variable_set:
             raise KeyError("constraint endpoints must be declared variables")
         constraint = Constraint(source, target, weight, tuple(pitch_terms), kind)
@@ -81,11 +86,25 @@ class ConstraintSystem:
         self.add(a, b, offset, kind="equal")
         self.add(b, a, -offset, kind="equal")
 
+    def solve(self, solver: Optional[str] = None, **options):
+        """Solve this system with a named backend (default Bellman-Ford).
+
+        Convenience front door to :mod:`repro.compact.solvers`: keyword
+        options (``sort_edges``, ``lower_bound``, ``pitches``, ``hint``)
+        are forwarded to the backend's ``solve``.  Returns the backend's
+        :class:`~repro.compact.solvers.SolveStats`.
+        """
+        from .solvers import get_solver  # deferred: solvers import this module
+
+        return get_solver(solver).solve(self, **options)
+
     # ------------------------------------------------------------------
     def has_pitch_terms(self) -> bool:
+        """Whether any constraint carries a symbolic pitch term."""
         return any(c.has_pitch_terms() for c in self.constraints)
 
     def index_of(self, variable: Variable) -> int:
+        """Declaration position of ``variable`` (stable solver index)."""
         return self._variable_set[variable]
 
     def check(self, solution: Dict[Variable, int], pitches: Optional[Dict[str, int]] = None) -> List[Constraint]:

@@ -45,6 +45,7 @@ class CompactionResult:
     jog_after: int = 0
 
     def violations(self, rules: DesignRules) -> List[Violation]:
+        """DRC the compacted geometry against ``rules``."""
         return check_layout(self.layers, rules)
 
 
@@ -62,6 +63,7 @@ def compact_layout(
     merge: bool = False,
     sizing: Optional[Dict[Tuple[str, str], int]] = None,
     sort_edges: bool = True,
+    solver: Optional[str] = None,
 ) -> CompactionResult:
     """Compact a flat layout along one axis.
 
@@ -69,7 +71,10 @@ def compact_layout(
     ``"naive-indiscriminate"`` (Figure 6.5 overconstraint) or
     ``"naive-skip-hidden"`` (Figure 6.6 bug).  ``merge`` pre-merges boxes
     per layer (section 6.4.1's preprocessing — incompatible with tag-based
-    ``sizing``, which is rejected).
+    ``sizing``, which is rejected).  ``solver`` names the longest-path
+    backend (see :mod:`repro.compact.solvers`); with ``width_mode="min"``
+    the constraint graph is acyclic and ``"topological"`` solves it in a
+    single O(V+E) sweep.
     """
     if merge and sizing:
         raise ValueError(
@@ -95,7 +100,7 @@ def compact_layout(
     else:
         raise ValueError(f"unknown constraint method {method!r}")
 
-    stats = solve_longest_path(system, sort_edges=sort_edges)
+    stats = solve_longest_path(system, sort_edges=sort_edges, solver=solver)
     solution = stats.solution
     align = alignment_pairs(comp_boxes)
     result = CompactionResult(stats=stats)
@@ -104,7 +109,9 @@ def compact_layout(
     result.jog_before = misalignment(align, solution)
     if rubber_band and align:
         width_limit = max(solution.values()) if solution else 0
-        solution = rubber_band_solve(system, comp_boxes, width_limit, align)
+        solution = rubber_band_solve(
+            system, comp_boxes, width_limit, align, solver=solver
+        )
         result.jog_after = misalignment(align, solution)
     else:
         result.jog_after = result.jog_before

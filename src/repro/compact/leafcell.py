@@ -42,12 +42,13 @@ from .scanline import (
     build_edge_variables,
     visibility_constraints,
 )
-from .solver import solve_longest_path
+from .solvers import get_solver
 
 __all__ = ["PitchCost", "LeafCellResult", "LeafCellCompactor", "pitch_name"]
 
 
 def pitch_name(cell_a: str, cell_b: str, index: int) -> str:
+    """Canonical pitch-variable name for an interface triple."""
     return f"lam[{cell_a},{cell_b},{index}]"
 
 
@@ -66,6 +67,7 @@ class PitchCost:
     size_weight: float = 1e-3
 
     def weight(self, pitch: str) -> float:
+        """Cost-function weight of one pitch variable."""
         return self.weights.get(pitch, self.default_weight)
 
 
@@ -86,10 +88,20 @@ class LeafCellResult:
 class LeafCellCompactor:
     """Compacts a cell library against its interface table (x axis)."""
 
-    def __init__(self, rsg: Rsg, rules: DesignRules, width_mode: str = "min") -> None:
+    def __init__(
+        self,
+        rsg: Rsg,
+        rules: DesignRules,
+        width_mode: str = "min",
+        solver: Optional[str] = None,
+    ) -> None:
+        """``solver`` names the longest-path backend used for the integer
+        rounding search (``"incremental"`` pays off there: the candidate
+        loop re-solves the same system at nearby pitch values)."""
         self.rsg = rsg
         self.rules = rules
         self.width_mode = width_mode
+        self.solver = get_solver(solver)
         self.system = ConstraintSystem()
         self._cell_boxes: Dict[str, List[CompactionBox]] = {}
         self._interface_keys: List[Tuple[str, str, int]] = []
@@ -294,7 +306,7 @@ class LeafCellCompactor:
         for values in candidates:
             trial = dict(zip(names, values))
             try:
-                stats = solve_longest_path(self.system, pitches=trial)
+                stats = self.solver.solve(self.system, pitches=trial)
             except InfeasibleConstraintsError:
                 continue
             return trial, stats.solution

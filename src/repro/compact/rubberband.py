@@ -63,12 +63,17 @@ def rubber_band_solve(
     boxes: Sequence[CompactionBox],
     max_width: int,
     pairs: Optional[Sequence[Tuple[CompactionBox, CompactionBox]]] = None,
+    solver: Optional[str] = None,
 ) -> Dict[Variable, int]:
     """Minimise connected-pair misalignment within ``max_width``.
 
     Subject to every constraint in ``system`` plus ``0 <= x <= max_width``
     for all variables.  Preserves the bounding box of the greedy solve
-    while removing the jogs it introduced.
+    while removing the jogs it introduced.  ``solver`` names the
+    longest-path backend used to repair integer rounding: when the
+    rounded LP optimum violates a constraint, the backend re-relaxes
+    from the rounded point (hint-seeded solve) and the repair is kept if
+    it stays inside ``max_width``.
     """
     if system.has_pitch_terms():
         raise InfeasibleConstraintsError(
@@ -125,7 +130,14 @@ def rubber_band_solve(
     }
     violated = system.check(solution)
     if violated:
-        raise InfeasibleConstraintsError(
-            f"rubber-band rounding violated {len(violated)} constraint(s)"
-        )
+        # Repair: least feasible point at or above the rounded one.
+        from .solvers import get_solver  # deferred: solvers import siblings
+
+        repaired = get_solver(solver).solve(system, hint=solution).solution
+        if max(repaired.values(), default=0) > max_width:
+            raise InfeasibleConstraintsError(
+                f"rubber-band rounding violated {len(violated)} constraint(s)"
+                " and the repair exceeded the width limit"
+            )
+        return repaired
     return solution

@@ -41,6 +41,7 @@ class DesignRules:
     gate_width: Optional[int] = None
 
     def width(self, layer: str) -> int:
+        """Minimum drawn width of ``layer`` (1 when the table is silent)."""
         return self.min_width.get(layer, 1)
 
     def spacing(self, layer_a: str, layer_b: str) -> Optional[int]:
@@ -50,6 +51,7 @@ class DesignRules:
         return self.inter_spacing.get(frozenset((layer_a, layer_b)))
 
     def constrained_pairs(self) -> Tuple[LayerPair, ...]:
+        """Every layer pair (or single layer) with a spacing rule."""
         pairs = [frozenset((layer,)) for layer in self.min_spacing]
         pairs.extend(self.inter_spacing)
         return tuple(pairs)

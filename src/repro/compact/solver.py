@@ -1,37 +1,22 @@
-"""Constraint-system solving by Bellman-Ford longest path (section 6.4.2).
+"""Constraint-system solving entry point (section 6.4.2).
 
-The minimal solution of ``x[t] - x[s] >= w`` with ``x >= 0`` is the
-longest path from a virtual source; Bellman-Ford relaxation converges in
-at most |V| passes and "proved to be extremely fast, especially if the
-edges are traversed in sorted (according to their abscissa) order": when
-the initial edge ordering survives compaction, exactly one productive
-pass suffices.  Positive cycles mean the constraints are infeasible.
+The minimal solution of ``x[t] - x[s] >= w`` with ``x >= lower_bound``
+is the longest path from a virtual source; positive cycles mean the
+constraints are infeasible.  The actual algorithms live in
+:mod:`repro.compact.solvers` as pluggable backends — the paper's
+sorted-edge Bellman-Ford (the default here), a topological-order
+longest-path sweep, and an incremental re-solver.  This module keeps the
+original single-call interface as a thin wrapper over the registry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from ..core.errors import InfeasibleConstraintsError
 from .constraints import ConstraintSystem, Variable
+from .solvers import SolveStats, get_solver
 
 __all__ = ["SolveStats", "solve_longest_path"]
-
-
-@dataclass
-class SolveStats:
-    """Diagnostics from a Bellman-Ford run."""
-
-    passes: int = 0
-    relaxations: int = 0
-    sorted_edges: bool = False
-    solution: Dict[Variable, int] = field(default_factory=dict)
-
-    def width(self) -> int:
-        if not self.solution:
-            return 0
-        return max(self.solution.values()) - min(self.solution.values())
 
 
 def solve_longest_path(
@@ -39,48 +24,24 @@ def solve_longest_path(
     sort_edges: bool = True,
     lower_bound: int = 0,
     pitches: Optional[Dict[str, int]] = None,
+    solver: Optional[str] = None,
+    hint: Optional[Dict[Variable, int]] = None,
 ) -> SolveStats:
     """Solve for the least solution with every variable >= lower_bound.
 
     ``pitches`` substitutes fixed values for pitch variables so that a
     leaf-cell system can be solved for given pitches (used to explore
-    the tradeoff curves of section 6.2).  Raises
-    :class:`InfeasibleConstraintsError` on a positive cycle.
+    the tradeoff curves of section 6.2).  ``solver`` names a registered
+    backend (default ``"bellman-ford"``); ``hint`` seeds the relaxation,
+    returning the least solution at or above the hint.  Raises
+    :class:`InfeasibleConstraintsError` on a positive cycle and
+    :class:`SolverConfigurationError` on an unknown backend name.
     """
-    pitches = pitches or {}
-    constraints = list(system.constraints)
-    if sort_edges:
-        constraints.sort(key=lambda c: system.initial.get(c.source, 0))
-
-    weight: List[int] = []
-    for constraint in constraints:
-        bound = constraint.weight
-        for pitch, coefficient in constraint.pitch_terms:
-            if pitch not in pitches:
-                raise InfeasibleConstraintsError(
-                    f"pitch variable {pitch!r} has no value; use the"
-                    " leaf-cell LP solver for symbolic pitches"
-                )
-            bound += coefficient * pitches[pitch]
-        weight.append(bound)
-
-    x: Dict[Variable, int] = {name: lower_bound for name in system.variables}
-    stats = SolveStats(sorted_edges=sort_edges)
-    limit = len(system.variables) + 1
-    while True:
-        changed = False
-        stats.passes += 1
-        for constraint, bound in zip(constraints, weight):
-            candidate = x[constraint.source] + bound
-            if candidate > x[constraint.target]:
-                x[constraint.target] = candidate
-                stats.relaxations += 1
-                changed = True
-        if not changed:
-            break
-        if stats.passes > limit:
-            raise InfeasibleConstraintsError(
-                "positive cycle: the constraint system is overconstrained"
-            )
-    stats.solution = x
-    return stats
+    backend = get_solver(solver)
+    return backend.solve(
+        system,
+        sort_edges=sort_edges,
+        lower_bound=lower_bound,
+        pitches=pitches,
+        hint=hint,
+    )

@@ -1,0 +1,41 @@
+"""Pluggable longest-path solver backends for the compactor.
+
+Importing this package registers the built-in backends:
+
+* ``bellman-ford`` — :class:`~repro.compact.solvers.bellman_ford.BellmanFordSolver`,
+  the paper's sorted-edge relaxation (reference semantics);
+* ``topological`` — :class:`~repro.compact.solvers.topological.TopologicalSolver`,
+  O(V+E) condensation sweep for the (usually acyclic) constraint graph;
+* ``incremental`` — :class:`~repro.compact.solvers.incremental.IncrementalSolver`,
+  cone-limited re-solve for repeated near-identical systems.
+
+Select one by name through :func:`get_solver` or any of the ``solver=``
+parameters threaded through the compaction layer; register custom
+backends with :func:`register_solver`.
+"""
+
+from .base import (
+    DEFAULT_SOLVER,
+    SolveStats,
+    SolverBackend,
+    available_solvers,
+    get_solver,
+    register_solver,
+    resolve_weights,
+)
+from .bellman_ford import BellmanFordSolver
+from .incremental import IncrementalSolver
+from .topological import TopologicalSolver
+
+__all__ = [
+    "DEFAULT_SOLVER",
+    "SolveStats",
+    "SolverBackend",
+    "available_solvers",
+    "get_solver",
+    "register_solver",
+    "resolve_weights",
+    "BellmanFordSolver",
+    "IncrementalSolver",
+    "TopologicalSolver",
+]

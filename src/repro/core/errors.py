@@ -19,6 +19,7 @@ __all__ = [
     "UnboundVariableError",
     "CompactionError",
     "InfeasibleConstraintsError",
+    "SolverConfigurationError",
 ]
 
 
@@ -84,3 +85,7 @@ class CompactionError(RsgError):
 
 class InfeasibleConstraintsError(CompactionError):
     """The constraint system admits no solution (positive cycle / LP infeasible)."""
+
+
+class SolverConfigurationError(CompactionError):
+    """A solver backend name did not resolve in the solver registry."""

@@ -84,3 +84,50 @@ class TestMain:
         parameter, _ = flow_files
         assert main([str(parameter), "--render"]) == 0
         assert "scale 1:" in capsys.readouterr().out
+
+
+class TestCompactFlags:
+    @pytest.mark.parametrize("solver", ["bellman-ford", "topological", "incremental"])
+    def test_compact_with_each_solver(self, flow_files, capsys, solver):
+        parameter, output = flow_files
+        assert main([str(parameter), "--compact", "x", "--solver", solver]) == 0
+        out = capsys.readouterr().out
+        assert "compacted x: width" in out
+        assert solver in out
+        assert output.exists()
+
+    def test_compact_both_axes(self, flow_files, capsys):
+        parameter, _ = flow_files
+        assert main([str(parameter), "--compact", "xy"]) == 0
+        out = capsys.readouterr().out
+        assert "compacted x: width" in out
+        assert "compacted y: width" in out
+
+    def test_solvers_shrink_to_same_width(self, flow_files, capsys):
+        parameter, _ = flow_files
+        widths = set()
+        for solver in ("bellman-ford", "topological"):
+            assert main([str(parameter), "--compact", "x", "--solver", solver]) == 0
+            line = next(
+                line
+                for line in capsys.readouterr().out.splitlines()
+                if line.startswith("compacted x")
+            )
+            widths.add(line.split("(")[0])
+        assert len(widths) == 1
+
+    def test_unknown_solver_rejected_by_parser(self, flow_files):
+        parameter, _ = flow_files
+        with pytest.raises(SystemExit):
+            main([str(parameter), "--compact", "x", "--solver", "simplex"])
+
+    def test_solver_without_compact_rejected(self, flow_files, capsys):
+        parameter, _ = flow_files
+        with pytest.raises(SystemExit):
+            main([str(parameter), "--solver", "topological"])
+        assert "--compact" in capsys.readouterr().err
+
+    def test_bad_axes_via_run_flow(self, flow_files):
+        parameter, _ = flow_files
+        with pytest.raises(RsgError):
+            run_flow(str(parameter), compact_axes="z")

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.compact import Constraint, ConstraintSystem, solve_longest_path
+from repro.compact import (
+    Constraint,
+    ConstraintSystem,
+    available_solvers,
+    get_solver,
+    solve_longest_path,
+)
 from repro.core.errors import InfeasibleConstraintsError
 
 
@@ -16,6 +22,63 @@ def chain_system(n, gap=3, shuffle=False):
         order = order[::-1]
     for i in order:
         system.add(f"x{i}", f"x{i+1}", gap)
+    return system
+
+
+def equality_system():
+    """Zero-slack cycles: a rigid cluster pinned by require_equal."""
+    system = ConstraintSystem()
+    for name in "abcd":
+        system.add_variable(name)
+    system.require_equal("a", "b", 5)
+    system.require_equal("b", "c", -2)
+    system.add("a", "d", 7)
+    system.add("c", "d", 1)
+    return system
+
+
+def slack_cycle_system():
+    """A negative-slack cycle: b may float within [a, a+4]."""
+    system = ConstraintSystem()
+    system.add_variable("a", initial=0)
+    system.add_variable("b", initial=9)
+    system.add_variable("c", initial=20)
+    system.add("a", "b", 0)
+    system.add("b", "a", -4)
+    system.add("b", "c", 6)
+    return system
+
+
+def pitch_system():
+    system = ConstraintSystem()
+    system.add_variable("a", initial=0)
+    system.add_variable("b", initial=10)
+    system.add_variable("c", initial=25)
+    system.add_pitch("lam")
+    system.add("a", "b", 4, pitch_terms=(("lam", -1),))
+    system.add("b", "c", 6)
+    system.add("a", "c", 3, pitch_terms=(("lam", 1),))
+    return system
+
+
+#: every ConstraintSystem fixture in this module, with solve kwargs
+SOLVER_FIXTURES = [
+    ("chain", lambda: chain_system(10), {}),
+    ("chain-shuffled", lambda: chain_system(25, shuffle=True), {}),
+    ("chain-lower-bound", lambda: chain_system(8), {"lower_bound": 5}),
+    ("chain-unsorted", lambda: chain_system(25, shuffle=True), {"sort_edges": False}),
+    ("equalities", equality_system, {}),
+    ("slack-cycle", slack_cycle_system, {}),
+    ("negative-weight", lambda: negative_weight_system(), {}),
+    ("fixed-pitch", pitch_system, {"pitches": {"lam": 2}}),
+]
+
+
+def negative_weight_system():
+    system = ConstraintSystem()
+    system.add_variable("a")
+    system.add_variable("b")
+    system.add("a", "b", -2)
     return system
 
 
@@ -130,3 +193,53 @@ class TestSortedEdgeOptimisation:
         system = chain_system(20, shuffle=True)
         stats = solve_longest_path(system, sort_edges=True)
         assert stats.relaxations == 19  # each variable settles once
+
+
+class TestBackendEquivalence:
+    """Every registered backend must reproduce the Bellman-Ford
+    solutions exactly, fixture by fixture."""
+
+    @pytest.mark.parametrize("backend", available_solvers())
+    @pytest.mark.parametrize(
+        "label,build,options",
+        SOLVER_FIXTURES,
+        ids=[label for label, _, _ in SOLVER_FIXTURES],
+    )
+    def test_identical_solutions(self, backend, label, build, options):
+        system = build()
+        reference = get_solver("bellman-ford").solve(system, **options)
+        stats = get_solver(backend).solve(system, **options)
+        assert stats.solution == reference.solution
+        assert system.check(
+            stats.solution, pitches=options.get("pitches")
+        ) == []
+
+    @pytest.mark.parametrize("backend", available_solvers())
+    def test_positive_cycle_detected(self, backend):
+        system = ConstraintSystem()
+        system.add_variable("a")
+        system.add_variable("b")
+        system.add("a", "b", 5)
+        system.add("b", "a", -3)
+        with pytest.raises(InfeasibleConstraintsError):
+            get_solver(backend).solve(system)
+
+    @pytest.mark.parametrize("backend", available_solvers())
+    def test_positive_self_loop_detected(self, backend):
+        system = ConstraintSystem()
+        system.add_variable("a")
+        system.add("a", "a", 1)
+        with pytest.raises(InfeasibleConstraintsError):
+            get_solver(backend).solve(system)
+
+    @pytest.mark.parametrize("backend", available_solvers())
+    def test_symbolic_pitch_rejected(self, backend):
+        system = pitch_system()
+        with pytest.raises(InfeasibleConstraintsError):
+            get_solver(backend).solve(system)
+
+    @pytest.mark.parametrize("backend", available_solvers())
+    def test_via_system_solve(self, backend):
+        system = chain_system(6)
+        stats = system.solve(solver=backend)
+        assert stats.solution == solve_longest_path(system).solution

@@ -1,0 +1,252 @@
+"""Tests for the pluggable solver subsystem (registry, incremental
+re-solve, hints, SolveStats reporting)."""
+
+import random
+
+import pytest
+
+from repro.compact import (
+    ConstraintSystem,
+    SolveStats,
+    TECH_A,
+    available_solvers,
+    compact_layout,
+    get_solver,
+    register_solver,
+    solve_longest_path,
+)
+from repro.compact.solvers import DEFAULT_SOLVER
+from repro.core.errors import (
+    InfeasibleConstraintsError,
+    SolverConfigurationError,
+)
+from repro.geometry import Box
+from repro.layout.database import FlatLayout
+
+
+def random_system(n, extra, seed, cyclic=False):
+    rng = random.Random(seed)
+    system = ConstraintSystem()
+    for i in range(n):
+        system.add_variable(f"v{i}", initial=rng.randint(0, 100))
+    for i in range(n - 1):
+        system.add(f"v{i}", f"v{i+1}", rng.randint(-3, 5))
+    for _ in range(extra):
+        a, b = rng.sample(range(n), 2)
+        if not cyclic and a > b:
+            a, b = b, a
+        system.add(f"v{a}", f"v{b}", rng.randint(0, 4))
+    if cyclic:
+        system.require_equal("v0", f"v{n // 2}", 7)
+    return system
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_solvers()
+        assert {"bellman-ford", "topological", "incremental"} <= set(names)
+        assert DEFAULT_SOLVER in names
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SolverConfigurationError):
+            get_solver("simplex")
+
+    def test_fresh_instance_per_lookup(self):
+        assert get_solver("incremental") is not get_solver("incremental")
+
+    def test_custom_backend_registration(self):
+        class Echo:
+            name = "echo-test"
+
+            def solve(self, system, **kwargs):
+                return get_solver("bellman-ford").solve(system, **kwargs)
+
+        register_solver(Echo.name, Echo)
+        try:
+            system = random_system(5, 2, seed=0)
+            assert (
+                get_solver("echo-test").solve(system).solution
+                == get_solver("bellman-ford").solve(system).solution
+            )
+        finally:
+            from repro.compact.solvers.base import _REGISTRY
+
+            _REGISTRY.pop("echo-test", None)
+
+
+class TestSolveStats:
+    def test_str_names_backend_and_width(self):
+        system = random_system(6, 2, seed=1)
+        stats = solve_longest_path(system, solver="topological")
+        text = str(stats)
+        assert "topological" in text
+        assert f"width {stats.width()}" in text
+        assert "relaxations" in text
+
+    def test_width_measured_from_lower_bound_wall(self):
+        # A hinted solve can lift every variable off the wall; the width
+        # must still be measured from the wall the solver was given.
+        system = ConstraintSystem()
+        system.add_variable("a")
+        system.add_variable("b")
+        system.add("a", "b", 4)
+        stats = solve_longest_path(system, hint={"a": 3, "b": 3})
+        assert stats.solution == {"a": 3, "b": 7}
+        assert stats.lower_bound == 0
+        assert stats.width() == 7
+
+    def test_width_plain_minimal_solve_unchanged(self):
+        system = ConstraintSystem()
+        system.add_variable("a")
+        system.add_variable("b")
+        system.add("a", "b", 4)
+        stats = solve_longest_path(system, lower_bound=7)
+        assert stats.width() == 4
+
+    def test_empty_solution_width(self):
+        assert SolveStats().width() == 0
+
+
+class TestHintSeeding:
+    """``hint`` means the same thing for every backend: least solution
+    at or above the hint."""
+
+    @pytest.mark.parametrize("backend", available_solvers())
+    def test_least_solution_above_hint(self, backend):
+        system = random_system(30, 12, seed=3)
+        hint = {f"v{i}": (i * 7) % 23 for i in range(30)}
+        stats = get_solver(backend).solve(system, hint=hint)
+        assert system.check(stats.solution) == []
+        assert all(stats.solution[k] >= v for k, v in hint.items())
+        reference = get_solver("bellman-ford").solve(system, hint=hint)
+        assert stats.solution == reference.solution
+
+    @pytest.mark.parametrize("backend", available_solvers())
+    def test_empty_hint_is_plain_solve(self, backend):
+        system = random_system(12, 4, seed=4)
+        assert (
+            get_solver(backend).solve(system, hint={}).solution
+            == get_solver(backend).solve(system).solution
+        )
+
+
+class TestIncrementalReuse:
+    def make_sweepable(self):
+        """A system where a pitch change reaches only a small cone."""
+        system = ConstraintSystem()
+        for i in range(60):
+            system.add_variable(f"v{i}", initial=i * 4)
+        for i in range(59):
+            system.add(f"v{i}", f"v{i+1}", 3)
+        system.add_pitch("lam")
+        system.add("v50", "v51", 1, pitch_terms=(("lam", 1),))
+        return system
+
+    def test_sweep_matches_full_resolve(self):
+        system = self.make_sweepable()
+        incremental = get_solver("incremental")
+        reference = get_solver("bellman-ford")
+        for value in (0, 5, 9, 2, 2, 7):
+            fast = incremental.solve(system, pitches={"lam": value})
+            full = reference.solve(system, pitches={"lam": value})
+            assert fast.solution == full.solution
+
+    def test_cone_reuse_reported(self):
+        system = self.make_sweepable()
+        incremental = get_solver("incremental")
+        incremental.solve(system, pitches={"lam": 0})
+        stats = incremental.solve(system, pitches={"lam": 8})
+        # Only v51..v59 are reachable from the changed constraint.
+        assert stats.reused == 51
+        repeat = incremental.solve(system, pitches={"lam": 8})
+        assert repeat.reused == 60
+        assert repeat.relaxations == 0
+
+    def test_loosened_weights_lower_the_cone(self):
+        system = self.make_sweepable()
+        incremental = get_solver("incremental")
+        high = incremental.solve(system, pitches={"lam": 9}).solution
+        low = incremental.solve(system, pitches={"lam": 0}).solution
+        assert low["v51"] < high["v51"]
+        assert low == get_solver("bellman-ford").solve(
+            system, pitches={"lam": 0}
+        ).solution
+
+    def test_infeasible_candidate_then_recovery(self):
+        system = ConstraintSystem()
+        system.add_variable("a")
+        system.add_variable("b")
+        system.add_pitch("p")
+        system.add("a", "b", 5)
+        system.add("b", "a", 0, pitch_terms=(("p", -1),))
+        incremental = get_solver("incremental")
+        ok = incremental.solve(system, pitches={"p": 6})
+        assert ok.solution["b"] - ok.solution["a"] == 5
+        with pytest.raises(InfeasibleConstraintsError):
+            incremental.solve(system, pitches={"p": 3})
+        again = incremental.solve(system, pitches={"p": 7})
+        assert again.solution["b"] - again.solution["a"] == 5
+
+    def test_system_growth_invalidates_cache(self):
+        system = random_system(10, 3, seed=5)
+        incremental = get_solver("incremental")
+        incremental.solve(system)
+        system.add_variable("extra")
+        system.add("v9", "extra", 2)
+        stats = incremental.solve(system)
+        assert stats.solution == get_solver("bellman-ford").solve(system).solution
+
+    def test_different_lower_bound_not_reused(self):
+        system = random_system(10, 3, seed=6)
+        incremental = get_solver("incremental")
+        incremental.solve(system, lower_bound=0)
+        stats = incremental.solve(system, lower_bound=5)
+        assert min(stats.solution.values()) == 5
+        assert stats.solution == get_solver("bellman-ford").solve(
+            system, lower_bound=5
+        ).solution
+
+
+class TestRandomEquivalence:
+    @pytest.mark.parametrize("backend", available_solvers())
+    @pytest.mark.parametrize("cyclic", [False, True], ids=["dag", "cyclic"])
+    def test_fuzz_against_reference(self, backend, cyclic):
+        for seed in range(8):
+            system = random_system(35, 40, seed=seed, cyclic=cyclic)
+            try:
+                reference = get_solver("bellman-ford").solve(
+                    system, lower_bound=2
+                ).solution
+            except InfeasibleConstraintsError:
+                reference = "infeasible"
+            try:
+                stats = get_solver(backend).solve(system, lower_bound=2).solution
+            except InfeasibleConstraintsError:
+                stats = "infeasible"
+            assert stats == reference
+
+
+class TestFlatCompactionThreading:
+    def layout(self):
+        rng = random.Random(9)
+        layout = FlatLayout("threaded")
+        for i in range(60):
+            x = (i % 10) * 11 + rng.randint(0, 3)
+            y = (i // 10) * 9
+            layer = ("metal1", "poly")[i % 2]
+            layout.add(layer, Box(x, y, x + 5, y + 6))
+        return layout
+
+    @pytest.mark.parametrize("backend", available_solvers())
+    def test_same_geometry_every_backend(self, backend):
+        reference = compact_layout(self.layout(), TECH_A, width_mode="min")
+        result = compact_layout(
+            self.layout(), TECH_A, width_mode="min", solver=backend
+        )
+        assert result.width_after == reference.width_after
+        assert result.layers == reference.layers
+        assert result.stats.backend.startswith(backend)
+
+    def test_unknown_solver_raises(self):
+        with pytest.raises(SolverConfigurationError):
+            compact_layout(self.layout(), TECH_A, solver="does-not-exist")
