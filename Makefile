@@ -4,16 +4,27 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench docs-check all
+.PHONY: test bench bench-smoke docs-check all
 
 test:
 	$(PY) -m pytest tests/ -q
 
+# The glob matters: bench_*.py does not match pytest's default
+# test_*.py collection pattern, so naming the files explicitly is what
+# makes them collect (a bare `pytest benchmarks/` silently runs none).
 bench:
-	$(PY) -m pytest benchmarks/ -q
+	$(PY) -m pytest benchmarks/bench_*.py -q
 
-# Fails when public modules in src/repro/compact/ lack docstrings —
-# the documentation surface the architecture notes depend on.
+# One pass over every benchmark at its smallest size: the benchmark
+# fixture runs each workload once without timing loops, and the
+# REPRO_BENCH_SMOKE knob trims size-parameterised benchmarks (routing,
+# connectivity) to their smallest case.
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 $(PY) -m pytest benchmarks/bench_*.py -q --benchmark-disable
+
+# Fails when public modules in src/repro/compact/ or src/repro/route/
+# lack docstrings — the documentation surface the architecture notes
+# depend on.
 docs-check:
 	$(PY) -m pytest tests/test_docstrings.py -q
 

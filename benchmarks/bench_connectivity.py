@@ -1,0 +1,88 @@
+"""E-NETIDX — the port->net index vs the linear net scan.
+
+``PortNetlist.net_of`` used to scan every net for every query —
+O(nets x ports) — which made connectivity-heavy callers (the seam
+checks over a generated array, the routing round-trip) quadratic in
+layout size.  The netlist now maintains a port-name -> net-index dict
+built during extraction.  This benchmark extracts the port netlist of
+a long abutted wire chain, queries every port once through the index
+and once through a reimplementation of the old scan, verifies both
+agree, and guards the index's complexity: its total query time must
+stay at least 10x under the scan's on the largest size.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run only the smallest size.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import CellDefinition
+from repro.geometry import NORTH, Vec2
+from repro.layout import extract_ports
+
+SIZES = [100, 400, 1600]
+if os.environ.get("REPRO_BENCH_SMOKE"):
+    SIZES = [100]
+
+
+def chain_cell(n):
+    """An n-segment abutted wire chain: n-1 two-port nets, 2 dangling."""
+    segment = CellDefinition("seg")
+    segment.add_box("metal1", 0, 4, 10, 6)
+    segment.add_port("left", 0, 5, "metal1")
+    segment.add_port("right", 10, 5, "metal1")
+    top = CellDefinition("chain")
+    for i in range(n):
+        top.add_instance(segment, Vec2(10 * i, 0), NORTH, name=f"u{i}")
+    return top
+
+
+def scan_net_of(netlist, port_name):
+    """The pre-index implementation: scan every net for the port."""
+    for index, net in enumerate(netlist.nets):
+        if port_name in net:
+            return index
+    return None
+
+
+def _impl_index_vs_scan(report):
+    rows = [
+        "E-NETIDX port->net lookup, dict index vs linear scan:",
+        f"{'ports':>7} {'nets':>7} {'index ms':>9} {'scan ms':>9} {'speedup':>8}",
+    ]
+    final_ratio = None
+    for n in SIZES:
+        netlist = extract_ports(chain_cell(n))
+        names = sorted(netlist.ports)
+
+        start = time.perf_counter()
+        indexed = [netlist.net_of(name) for name in names]
+        index_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        scanned = [scan_net_of(netlist, name) for name in names]
+        scan_time = time.perf_counter() - start
+
+        assert indexed == scanned
+        final_ratio = scan_time / max(index_time, 1e-9)
+        rows.append(
+            f"{len(names):>7} {len(netlist.nets):>7} {index_time * 1e3:9.2f}"
+            f" {scan_time * 1e3:9.2f} {final_ratio:8.1f}x"
+        )
+    rows.append("guard: index >= 10x faster than the scan at the largest size")
+    report(*rows)
+    if not os.environ.get("REPRO_BENCH_SMOKE"):
+        assert final_ratio is not None and final_ratio >= 10.0, final_ratio
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_net_of_query_time(benchmark, n):
+    netlist = extract_ports(chain_cell(n))
+    names = sorted(netlist.ports)
+    benchmark(lambda: [netlist.net_of(name) for name in names])
+
+
+def test_index_vs_scan(benchmark, report):
+    benchmark.pedantic(lambda: _impl_index_vs_scan(report), rounds=1, iterations=1)

@@ -1,0 +1,147 @@
+"""E-ROUTE — river vs. channel routing on widening channels.
+
+The two routers of :mod:`repro.route` solve overlapping problems: the
+river router handles only order-preserving two-pin channels (planar, a
+single wiring layer) while the left-edge channel router takes any pin
+arrangement on two layers plus vias.  This experiment races them on
+the river's home turf — order-preserving buses from ~10 to ~500 pins
+whose edges are misaligned by a fixed skew, the situation left behind
+when two abutment-generated arrays don't quite line up — and reports
+track counts, channel heights and wirelength, then shows the channel
+router earning its keep on a crossing permutation the river router
+must reject.
+
+Two skew variants are raced.  With *aligned* skew (a multiple of the
+pin spacing) every top pin lands on a later wire's bottom column, so
+the channel router drowns in vertical-constraint chains while the
+river staircases glide; with *offset* skew the columns interleave and
+the channel router only pays its two-layer overheads (taller pitch,
+via pads).  In both, the river router needs no more tracks, strictly
+less height, and zero vias — asserted, not just reported.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run only the smallest size (the
+``make bench-smoke`` path).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.compact import TECH_A, check_layout
+from repro.route import (
+    Pin,
+    RouteStyle,
+    RoutingError,
+    channel_route,
+    river_route,
+)
+
+SIZES = [10, 50, 100, 250, 500]
+if os.environ.get("REPRO_BENCH_SMOKE"):
+    SIZES = [10]
+
+RIVER_STYLE = RouteStyle.single_layer(TECH_A)
+CHANNEL_STYLE = RouteStyle.from_rules(TECH_A)
+SPREAD = 2 * CHANNEL_STYLE.pitch
+
+
+def order_preserving_case(n, skew=2 * SPREAD):
+    """An n-bit bus whose edges are misaligned by a constant skew."""
+    return [(f"n{i}", i * SPREAD, i * SPREAD + skew) for i in range(n)]
+
+
+def as_pins(pairs):
+    """The same bus as channel-router pins."""
+    pins = []
+    for net, bottom, top in pairs:
+        pins.append(Pin(bottom, "bottom", net))
+        pins.append(Pin(top, "top", net))
+    return pins
+
+
+def best_of(runs, action):
+    """Best wall time of ``runs`` calls (seconds, result of last call)."""
+    times, result = [], None
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = action()
+        times.append(time.perf_counter() - start)
+    return min(times), result
+
+
+def _impl_river_vs_channel(report):
+    rows = [
+        "E-ROUTE order-preserving skewed buses, river vs channel:",
+        f"{'pins':>6} {'skew':>8} {'router':>8} {'ms':>8} {'tracks':>7}"
+        f" {'height':>7} {'length':>8} {'vias':>6}",
+    ]
+    for skew, tag in ((2 * SPREAD, "aligned"), (SPREAD + 7, "offset")):
+        for n in SIZES:
+            pairs = order_preserving_case(n, skew)
+            pins = as_pins(pairs)
+            river_time, river = best_of(3, lambda: river_route(pairs, RIVER_STYLE))
+            channel_time, channel = best_of(
+                3, lambda: channel_route(pins, CHANNEL_STYLE)
+            )
+            for router_tag, elapsed, wiring in (
+                ("river", river_time, river),
+                ("channel", channel_time, channel),
+            ):
+                rows.append(
+                    f"{n:>6} {tag:>8} {router_tag:>8} {elapsed * 1e3:8.2f}"
+                    f" {wiring.tracks:>7} {wiring.height:>7}"
+                    f" {wiring.wirelength():>8} {wiring.vias:>6}"
+                )
+            if tag == "aligned":
+                assert river.tracks <= channel.tracks, (
+                    n, river.tracks, channel.tracks,
+                )
+            assert river.height < channel.height, (n, river.height, channel.height)
+            assert river.vias == 0
+    rows.append("river: strictly less channel height, zero vias")
+    report(*rows)
+
+
+def _impl_channel_routes_crossings(report):
+    rows = [
+        "E-ROUTE crossing permutation (river must refuse, channel routes):",
+        f"{'pins':>6} {'tracks':>7} {'height':>7} {'length':>8} {'vias':>6}"
+        f" {'DRC':>5}",
+    ]
+    for n in SIZES:
+        pairs = [
+            (f"n{i}", i * SPREAD, ((i * 7 + 3) % n) * SPREAD) for i in range(n)
+        ]
+        with pytest.raises(RoutingError):
+            river_route(pairs, RIVER_STYLE)
+        wiring = channel_route(as_pins(pairs), CHANNEL_STYLE)
+        violations = check_layout(wiring.layers(), TECH_A)
+        rows.append(
+            f"{n:>6} {wiring.tracks:>7} {wiring.height:>7}"
+            f" {wiring.wirelength():>8} {wiring.vias:>6} {len(violations):>5}"
+        )
+        assert not violations
+    report(*rows)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_river_route_time(benchmark, n):
+    pairs = order_preserving_case(n)
+    benchmark(lambda: river_route(pairs, RIVER_STYLE))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_channel_route_time(benchmark, n):
+    pins = as_pins(order_preserving_case(n))
+    benchmark(lambda: channel_route(pins, CHANNEL_STYLE))
+
+
+def test_river_vs_channel(benchmark, report):
+    benchmark.pedantic(lambda: _impl_river_vs_channel(report), rounds=1, iterations=1)
+
+
+def test_channel_routes_crossings(benchmark, report):
+    benchmark.pedantic(
+        lambda: _impl_channel_routes_crossings(report), rounds=1, iterations=1
+    )

@@ -17,10 +17,15 @@ Usage::
     python -m repro parameters.par
     python -m repro parameters.par --set xsize=8 --set ysize=8
     python -m repro parameters.par --compact xy --solver topological
+    python -m repro parameters.par --route wires.net --router channel
 
 ``--compact`` runs the chapter-6 flat compactor over the generated cell
 before it is written; ``--solver`` picks the longest-path backend from
-the :mod:`repro.compact.solvers` registry.
+the :mod:`repro.compact.solvers` registry.  ``--route`` composes two
+cells from the workspace with the wiring subsystem: the net file names
+a bottom cell, a top cell and the nets to route between their facing
+edges (see :func:`repro.route.compose.parse_net_file`); the routed
+composite becomes the output cell.
 """
 
 from __future__ import annotations
@@ -49,6 +54,8 @@ def run_flow(
     compact_axes: Optional[str] = None,
     solver: Optional[str] = None,
     technology: str = "A",
+    route_path: Optional[str] = None,
+    router: str = "auto",
 ) -> CellDefinition:
     """Execute the full generation flow described by a parameter file.
 
@@ -57,7 +64,15 @@ def run_flow(
     ``compact_axes`` (``"x"``, ``"y"``, ``"xy"``, ``"yx"``) runs the flat
     compactor over the result before writing, using the named ``solver``
     backend and the ``technology`` rule set ("A" or "B").
+    ``route_path`` names a net-request file: the named cells are
+    composed with the wiring subsystem (``router`` picks the algorithm)
+    and the routed composite replaces the output cell.
     """
+    if compact_axes and route_path:
+        # The composite is built from the workspace cells, which flat
+        # compaction does not touch — allowing both would print
+        # compaction stats for geometry that never reaches the output.
+        raise RsgError("--compact and --route cannot be combined")
     with open(parameter_path, "r", encoding="utf-8") as handle:
         text = handle.read()
     if overrides:
@@ -93,6 +108,21 @@ def run_flow(
         cell = _compact_flow_cell(
             cell, compact_axes, solver, technology, output_stream
         )
+
+    if route_path:
+        from .route import compose_from_netfile
+
+        rules = {"A": TECH_A, "B": TECH_B}.get(technology.upper())
+        if rules is None:
+            raise RsgError(f"unknown technology {technology!r} (use A or B)")
+        with open(route_path, "r", encoding="utf-8") as handle:
+            net_text = handle.read()
+        cell, plan = compose_from_netfile(
+            net_text, rsg.cells, name=f"{cell.name}_routed",
+            rules=rules, router=router,
+        )
+        if output_stream is not None:
+            print(plan.summary(), file=output_stream)
 
     output_path = parameters.directives.get("output_file")
     output_format = parameters.directives.get("format", "cif").lower()
@@ -171,11 +201,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--tech",
         choices=["A", "B"],
-        help="design-rule technology used by --compact (default: A)",
+        help="design-rule technology used by --compact/--route (default: A)",
+    )
+    parser.add_argument(
+        "--route",
+        metavar="NETFILE",
+        help="compose two workspace cells with the wiring subsystem; the"
+        " file names bottom/top cells and the nets to route",
+    )
+    parser.add_argument(
+        "--router",
+        choices=["auto", "river", "channel"],
+        default="auto",
+        help="routing algorithm for --route (default: auto)",
     )
     arguments = parser.parse_args(argv)
-    if not arguments.compact and (arguments.solver or arguments.tech):
-        parser.error("--solver/--tech have no effect without --compact")
+    if not arguments.compact and not arguments.route and (
+        arguments.solver or arguments.tech
+    ):
+        parser.error("--solver/--tech have no effect without --compact/--route")
+    if arguments.solver and not arguments.compact:
+        parser.error("--solver has no effect without --compact")
+    if arguments.router != "auto" and not arguments.route:
+        parser.error("--router has no effect without --route")
+    if arguments.compact and arguments.route:
+        parser.error("--compact and --route cannot be combined (the composite"
+                     " is built from the uncompacted workspace cells)")
     try:
         cell = run_flow(
             arguments.parameter_file,
@@ -184,6 +235,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             compact_axes=arguments.compact,
             solver=arguments.solver,
             technology=arguments.tech or "A",
+            route_path=arguments.route,
+            router=arguments.router,
         )
     except (RsgError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)

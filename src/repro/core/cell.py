@@ -233,6 +233,17 @@ class CellDefinition:
                 transform.compose(instance.transform), prefix=f"{prefix}{tag}/"
             )
 
+    def flatten_labels(self, transform: Transform = Transform()) -> Iterator[Label]:
+        """Yield every label with hierarchy fully expanded."""
+        for label in self.labels:
+            yield label.transformed(transform)
+        for instance in self.instances:
+            if not instance.is_placed:
+                continue
+            yield from instance.definition.flatten_labels(
+                transform.compose(instance.transform)
+            )
+
     def count_instances(self, recursive: bool = False) -> int:
         """Number of sub-instances (transitively when ``recursive``)."""
         if not recursive:

@@ -21,24 +21,46 @@ __all__ = ["PortNetlist", "extract_ports"]
 
 
 class PortNetlist:
-    """Flattened ports grouped into nets by coincidence."""
+    """Flattened ports grouped into nets by coincidence.
+
+    A port-name -> net-index dict is maintained alongside ``nets`` so
+    :meth:`net_of` and :meth:`connected` are O(1) dict lookups instead
+    of an O(nets x ports) scan — extraction-heavy callers (the routing
+    round-trip, the multiplier seam checks) query thousands of times.
+    Wildcard (layerless) ports can appear on several nets; the index
+    records the first, matching the old scan's answer.
+    """
 
     def __init__(self) -> None:
         #: hierarchical port name -> position
         self.ports: Dict[str, Vec2] = {}
         #: net id -> sorted list of hierarchical port names
         self.nets: List[List[str]] = []
+        #: port name -> index into ``nets`` (first net holding the port)
+        self._net_index: Dict[str, int] = {}
+
+    def add_net(self, names: List[str]) -> int:
+        """Append one net (sorted port names) and index it; returns its id."""
+        index = len(self.nets)
+        self.nets.append(names)
+        for name in names:
+            self._net_index.setdefault(name, index)
+        return index
 
     def net_of(self, port_name: str) -> Optional[int]:
-        for index, net in enumerate(self.nets):
-            if port_name in net:
-                return index
-        return None
+        """Index of the (first) net holding ``port_name``, or None."""
+        return self._net_index.get(port_name)
 
     def connected(self, a: str, b: str) -> bool:
         """True when ports a and b share a net."""
         net = self.net_of(a)
-        return net is not None and b in self.nets[net]
+        if net is None:
+            return False
+        if b in self.nets[net]:
+            return True
+        # Wildcard ports may sit on several nets; fall back to b's net.
+        other = self.net_of(b)
+        return other is not None and a in self.nets[other]
 
     def multi_terminal_nets(self) -> List[List[str]]:
         return [net for net in self.nets if len(net) >= 2]
@@ -78,7 +100,7 @@ def extract_ports(cell: CellDefinition) -> PortNetlist:
                 wildcards.append(name)
         if groups:
             for layer, names in sorted(groups.items()):
-                netlist.nets.append(sorted(names + wildcards))
+                netlist.add_net(sorted(names + wildcards))
         else:
-            netlist.nets.append(sorted(wildcards))
+            netlist.add_net(sorted(wildcards))
     return netlist

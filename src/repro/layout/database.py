@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
-from ..core.cell import CellDefinition, LayerBox, Port
+from ..core.cell import CellDefinition, Label, LayerBox, Port
 from ..geometry import Box, Transform
 
 __all__ = ["FlatLayout", "flatten_cell", "merge_boxes"]
@@ -78,6 +78,7 @@ class FlatLayout:
         self.name = name
         self.layers: Dict[str, List[Box]] = defaultdict(list)
         self.ports: List[Port] = []
+        self.labels: List[Label] = []
 
     def add(self, layer: str, box: Box) -> None:
         self.layers[layer].append(box)
@@ -98,6 +99,7 @@ class FlatLayout:
         for layer, boxes in self.layers.items():
             out.layers[layer] = merge_boxes(boxes)
         out.ports = list(self.ports)
+        out.labels = list(self.labels)
         return out
 
     def area_by_layer(self) -> Dict[str, int]:
@@ -136,4 +138,5 @@ def flatten_cell(cell: CellDefinition, merge: bool = False) -> FlatLayout:
     for layer_box in cell.flatten(Transform()):
         flat.add(layer_box.layer, layer_box.box)
     flat.ports = list(cell.flatten_ports(Transform()))
+    flat.labels = list(cell.flatten_labels(Transform()))
     return flat.merged() if merge else flat

@@ -84,8 +84,15 @@ def svg_render(
     layout: Union[FlatLayout, CellDefinition],
     scale: float = 4.0,
     palette: Optional[List[str]] = None,
+    show_labels: bool = False,
 ) -> str:
-    """Render a layout as an SVG document string."""
+    """Render a layout as an SVG document string.
+
+    With ``show_labels`` the layout's flattened labels are drawn as
+    text — routed composites label every net at its first wire, so this
+    is the quickest way to eyeball a :func:`repro.route.compose.compose`
+    result.
+    """
     flat = _as_flat(layout)
     bbox = flat.bounding_box()
     if bbox is None:
@@ -109,6 +116,13 @@ def svg_render(
                 f'<rect x="{x:.1f}" y="{y:.1f}" width="{box.width * scale:.1f}"'
                 f' height="{box.height * scale:.1f}"/>'
             )
+        parts.append("</g>")
+    if show_labels and flat.labels:
+        parts.append('<g fill="black" font-size="10" font-family="monospace">')
+        for label in flat.labels:
+            x = (label.position.x - bbox.xmin) * scale
+            y = (bbox.ymax - label.position.y) * scale
+            parts.append(f'<text x="{x:.1f}" y="{y:.1f}">{label.text}</text>')
         parts.append("</g>")
     parts.append("</svg>")
     return "\n".join(parts)

@@ -1,0 +1,315 @@
+"""Left-edge channel routing with dogleg vertical-constraint handling.
+
+The general two-sided channel: pins on the bottom and top edges, any
+number of pins per net, crossings allowed.  Horizontal *trunks* run on
+one layer (tracks), vertical *branches* on another drop from each pin
+to its net's trunks, and *via* squares mark every trunk/branch
+junction — a branch crossing a foreign trunk has no via and is an
+ordinary drawn crossing.
+
+The algorithm is the classic constrained left-edge with doglegs:
+
+1. Every net is split at each of its pins into single-span *segments*
+   (the dogleg move — a multi-pin net may change tracks at any pin,
+   which breaks most vertical-constraint cycles).
+2. A column holding a top pin of net T and a bottom pin of net B adds
+   the vertical constraints ``segment(T) above segment(B)`` for the
+   segments incident at that column (their branches share the column
+   and must not overlap).
+3. Remaining constraint cycles (rotation permutations are the classic
+   case) are broken by *mid-channel doglegs*: a segment on the cycle is
+   split at a fresh column a pitch away from every pin, where a short
+   branch joins the two half-trunks without reaching either edge — so
+   the new column adds no vertical constraint of its own.
+4. Tracks are filled top-down: among segments whose above-constraints
+   are all satisfied, a left-edge sweep packs as many non-overlapping
+   segments per track as fit.  If a cycle survives because no segment
+   on it has room for a dogleg column, a :class:`RoutingError` names
+   the offending nets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..geometry import Box
+from .style import RouteStyle, RoutingError
+from .wiring import Wiring
+
+__all__ = ["Pin", "channel_route"]
+
+
+@dataclass(frozen=True)
+class Pin:
+    """One channel terminal: an x column on the bottom or top edge.
+
+    ``layer`` is the landing layer of the terminal (a pin pad plus via
+    is emitted when it differs from the branch layer); empty means the
+    terminal accepts the branch layer directly.
+    """
+
+    x: int
+    side: str  # "bottom" | "top"
+    net: str
+    layer: str = ""
+
+
+@dataclass
+class _Segment:
+    """One trunk span of a net between two adjacent pin columns."""
+
+    net: str
+    left: int
+    right: int
+    track: int = -1
+
+
+def _build_segments(by_net: Dict[str, List[Pin]]) -> List[_Segment]:
+    """Split every net at its pin columns (the dogleg decomposition)."""
+    segments: List[_Segment] = []
+    for net in sorted(by_net):
+        columns = sorted({pin.x for pin in by_net[net]})
+        if len(columns) == 1:
+            segments.append(_Segment(net, columns[0], columns[0]))
+        else:
+            for left, right in zip(columns, columns[1:]):
+                segments.append(_Segment(net, left, right))
+    return segments
+
+
+def _vertical_constraints(
+    pins: Sequence[Pin], segments: List[_Segment]
+) -> Dict[int, Set[int]]:
+    """``above[s]`` = segment ids that must take a higher track than s."""
+    incident: Dict[Tuple[str, int], List[int]] = defaultdict(list)
+    for index, segment in enumerate(segments):
+        incident[(segment.net, segment.left)].append(index)
+        if segment.right != segment.left:
+            incident[(segment.net, segment.right)].append(index)
+    top_at: Dict[int, str] = {}
+    bottom_at: Dict[int, str] = {}
+    for pin in pins:
+        (top_at if pin.side == "top" else bottom_at)[pin.x] = pin.net
+    above: Dict[int, Set[int]] = defaultdict(set)
+    for x, top_net in top_at.items():
+        bottom_net = bottom_at.get(x)
+        if bottom_net is None or bottom_net == top_net:
+            continue
+        for upper in incident[(top_net, x)]:
+            for lower in incident[(bottom_net, x)]:
+                above[lower].add(upper)
+    return above
+
+
+def _find_cycle(count: int, above: Dict[int, Set[int]]) -> Optional[List[int]]:
+    """A list of segment ids forming one constraint cycle, or None."""
+    successors: Dict[int, List[int]] = defaultdict(list)
+    for lower, uppers in above.items():
+        for upper in uppers:
+            successors[upper].append(lower)
+    state = [0] * count  # 0 unseen, 1 on stack, 2 done
+    for start in range(count):
+        if state[start]:
+            continue
+        stack: List[Tuple[int, int]] = [(start, 0)]
+        path: List[int] = []
+        state[start] = 1
+        path.append(start)
+        while stack:
+            node, position = stack[-1]
+            if position < len(successors[node]):
+                stack[-1] = (node, position + 1)
+                child = successors[node][position]
+                if state[child] == 1:
+                    return path[path.index(child):]
+                if state[child] == 0:
+                    state[child] = 1
+                    path.append(child)
+                    stack.append((child, 0))
+            else:
+                state[node] = 2
+                path.pop()
+                stack.pop()
+    return None
+
+
+def _free_column(left: int, right: int, used: Set[int], pitch: int) -> Optional[int]:
+    """A column strictly inside (left, right), a pitch from every used one.
+
+    Candidates are tried outward from the midpoint so doglegs land in
+    the roomiest part of the span.
+    """
+    middle = (left + right) // 2
+    for delta in range(right - left):
+        for candidate in {middle + delta, middle - delta}:
+            if candidate - left < pitch or right - candidate < pitch:
+                continue
+            if all(abs(candidate - column) >= pitch for column in used):
+                return candidate
+    return None
+
+
+def _break_cycles(
+    pins: Sequence[Pin], segments: List[_Segment], pitch: int
+) -> Dict[int, Set[int]]:
+    """Split cyclic-constraint segments at fresh columns until acyclic."""
+    used = {pin.x for pin in pins}
+    while True:
+        above = _vertical_constraints(pins, segments)
+        cycle = _find_cycle(len(segments), above)
+        if cycle is None:
+            return above
+        for index in cycle:
+            segment = segments[index]
+            column = _free_column(segment.left, segment.right, used, pitch)
+            if column is not None:
+                used.add(column)
+                segments[index] = _Segment(segment.net, segment.left, column)
+                segments.append(_Segment(segment.net, column, segment.right))
+                break
+        else:
+            nets = sorted({segments[index].net for index in cycle})
+            raise RoutingError(
+                "cyclic vertical constraints between nets "
+                + ", ".join(nets)
+                + " and no room for a dogleg column; spread the pins apart"
+            )
+
+
+def _assign_tracks(
+    segments: List[_Segment], above: Dict[int, Set[int]], pitch: int
+) -> int:
+    """Constrained left-edge packing, top track first; returns tracks."""
+    unassigned = set(range(len(segments)))
+    track = 0
+    while unassigned:
+        eligible = sorted(
+            (
+                index
+                for index in unassigned
+                if not (above.get(index, set()) & unassigned)
+            ),
+            key=lambda index: (segments[index].left, segments[index].right),
+        )
+        if not eligible:  # unreachable after _break_cycles; defensive
+            nets = sorted({segments[index].net for index in unassigned})
+            raise RoutingError(
+                "cyclic vertical constraints between nets " + ", ".join(nets)
+            )
+        last_right: Optional[int] = None
+        for index in eligible:
+            segment = segments[index]
+            if last_right is not None and segment.left - last_right < pitch:
+                continue
+            segment.track = track
+            unassigned.discard(index)
+            last_right = segment.right
+        track += 1
+    return track
+
+
+def channel_route(
+    pins: Sequence[Pin],
+    style: Optional[RouteStyle] = None,
+    y0: int = 0,
+) -> Wiring:
+    """Route a two-sided channel; returns the :class:`Wiring`.
+
+    Pin columns (across both edges) must either coincide exactly or be
+    at least one pitch apart, and every net needs two or more pins.
+    The channel height follows from the number of tracks used.
+    """
+    if style is None:
+        from ..compact.rules import TECH_A
+
+        style = RouteStyle.from_rules(TECH_A)
+    pitch = style.pitch
+
+    by_net: Dict[str, List[Pin]] = defaultdict(list)
+    seen: Dict[Tuple[int, str], str] = {}
+    for pin in pins:
+        if pin.side not in ("bottom", "top"):
+            raise RoutingError(f"pin side must be bottom or top, not {pin.side!r}")
+        owner = seen.get((pin.x, pin.side))
+        if owner is not None:
+            raise RoutingError(
+                f"two pins share column x={pin.x} on the {pin.side} edge"
+                f" (nets {owner!r} and {pin.net!r})"
+            )
+        seen[(pin.x, pin.side)] = pin.net
+        by_net[pin.net].append(pin)
+    for net, net_pins in sorted(by_net.items()):
+        if len(net_pins) < 2:
+            raise RoutingError(f"net {net!r} has a single pin; nothing to route")
+    columns = sorted({pin.x for pin in pins})
+    for left, right in zip(columns, columns[1:]):
+        if right - left < pitch:
+            raise RoutingError(
+                f"pin columns x={left} and x={right} are closer than the"
+                f" pitch ({pitch}); align them or spread them apart"
+            )
+
+    segments = _build_segments(by_net)
+    above = _break_cycles(pins, segments, pitch)
+    tracks = _assign_tracks(segments, above, pitch)
+
+    width = style.wire_width
+    margin = style.margin
+    height = 2 * margin + tracks * pitch - style.spacing
+    wiring = Wiring(
+        router="channel", style=style, y0=y0, height=height, tracks=tracks
+    )
+
+    def trunk_box(segment: _Segment) -> Box:
+        top = y0 + height - margin - segment.track * pitch
+        x_lo, _ = style.span(segment.left)
+        _, x_hi = style.span(segment.right)
+        return Box(x_lo, top - width, x_hi, top)
+
+    trunk_of: Dict[int, Box] = {}
+    for index, segment in enumerate(segments):
+        box = trunk_box(segment)
+        trunk_of[index] = box
+        wiring.add(segment.net, style.trunk_layer, box)
+
+    # Branches and vias, one branch per (net, endpoint column).  Pin
+    # columns reach the channel edge; dogleg columns (from cycle
+    # breaking) only span between their two trunks.
+    incident: Dict[Tuple[str, int], List[int]] = defaultdict(list)
+    for index, segment in enumerate(segments):
+        incident[(segment.net, segment.left)].append(index)
+        if segment.right != segment.left:
+            incident[(segment.net, segment.right)].append(index)
+    by_column: Dict[Tuple[str, int], List[Pin]] = defaultdict(list)
+    for pin in pins:
+        by_column[(pin.net, pin.x)].append(pin)
+    for (net, x) in sorted(incident):
+        column_pins = by_column.get((net, x), [])
+        trunk_boxes = [trunk_of[index] for index in incident[(net, x)]]
+        lo = min(box.ymin for box in trunk_boxes)
+        hi = max(box.ymax for box in trunk_boxes)
+        sides = {pin.side for pin in column_pins}
+        if "bottom" in sides:
+            lo = y0
+        if "top" in sides:
+            hi = y0 + height
+        x_lo, x_hi = style.span(x)
+        wiring.add(net, style.branch_layer, Box(x_lo, lo, x_hi, hi))
+        if style.via_layer:
+            for box in trunk_boxes:
+                wiring.add(net, style.via_layer, Box(x_lo, box.ymin, x_hi, box.ymax))
+                wiring.vias += 1
+        for pin in column_pins:
+            if not pin.layer or pin.layer == style.branch_layer:
+                continue
+            if pin.side == "bottom":
+                pad = Box(x_lo, y0, x_hi, y0 + width)
+            else:
+                pad = Box(x_lo, y0 + height - width, x_hi, y0 + height)
+            wiring.add(net, pin.layer, pad)
+            if style.via_layer:
+                wiring.add(net, style.via_layer, pad)
+                wiring.vias += 1
+    return wiring

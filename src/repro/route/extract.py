@@ -1,0 +1,137 @@
+"""Connectivity extraction through routed wire geometry.
+
+Coincidence extraction (:mod:`repro.layout.connectivity`) connects
+ports that land on the same point — the abutment story.  Routed
+composites connect ports through *wires*, so this module traces the
+wire geometry instead: same-layer boxes that touch are electrically
+one node, and a via square joins whatever it overlaps across layers
+(vias are only emitted at genuine junctions, so a branch crossing a
+foreign trunk — no via — stays unconnected).  The result is the
+round-trip oracle for :func:`repro.route.compose.compose`: the groups
+extracted here must reproduce exactly the nets that were requested.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cell import CellDefinition, Port
+from ..geometry import Box, Transform
+from .style import RouteStyle
+
+__all__ = ["wire_components", "routed_netlist"]
+
+
+class _UnionFind:
+    """Path-compressed disjoint sets over integer ids."""
+
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+
+    def find(self, a: int) -> int:
+        """Representative of ``a``'s set."""
+        root = a
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[a] != root:
+            self.parent[a], a = root, self.parent[a]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        """Merge the sets holding ``a`` and ``b``."""
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def _connects(
+    layer_a: str, box_a: Box, layer_b: str, box_b: Box, via_layer: str
+) -> bool:
+    """True when two overlapping wire boxes are electrically one node."""
+    if not box_a.overlaps(box_b):
+        return False
+    if layer_a == layer_b:
+        return True
+    return bool(via_layer) and via_layer in (layer_a, layer_b)
+
+
+def wire_components(
+    layers: Dict[str, List[Box]], style: RouteStyle
+) -> List[List[Tuple[str, Box]]]:
+    """Group wire boxes into electrical components.
+
+    Same-layer boxes that touch or overlap merge; across layers only a
+    via square merges what it overlaps.  A plane sweep over x keeps the
+    pairwise checks near-linear for wide channels.
+    """
+    items: List[Tuple[str, Box]] = [
+        (layer, box) for layer in sorted(layers) for box in layers[layer]
+    ]
+    items.sort(key=lambda item: item[1].xmin)
+    sets = _UnionFind(len(items))
+    active: List[int] = []
+    for index, (layer, box) in enumerate(items):
+        active = [j for j in active if items[j][1].xmax >= box.xmin]
+        for j in active:
+            other_layer, other_box = items[j]
+            if _connects(layer, box, other_layer, other_box, style.via_layer):
+                sets.union(index, j)
+        active.append(index)
+    grouped: Dict[int, List[Tuple[str, Box]]] = {}
+    for index, item in enumerate(items):
+        grouped.setdefault(sets.find(index), []).append(item)
+    return list(grouped.values())
+
+
+def _attaches(port: Port, layer: str, box: Box, via_layer: str) -> bool:
+    """True when a port lands on a wire box it can connect to."""
+    if not box.contains_point(port.position):
+        return False
+    return not port.layer or port.layer == layer or layer == via_layer
+
+
+def routed_netlist(
+    composite: CellDefinition,
+    style: RouteStyle,
+    wires_name: str = "wires",
+) -> List[List[str]]:
+    """Extract port groups connected through a composite's wiring cell.
+
+    Finds the instance named ``wires_name``, traces its geometry into
+    components, and attaches every *other* hierarchical port that lands
+    on a component's box.  Returns sorted groups of hierarchical port
+    names, one per wire component that touches at least one port — the
+    connectivity round-trip oracle for routed composites.
+    """
+    wires_instance = None
+    for instance in composite.instances:
+        if instance.name == wires_name:
+            wires_instance = instance
+            break
+    if wires_instance is None:
+        raise ValueError(f"composite has no instance named {wires_name!r}")
+    layers: Dict[str, List[Box]] = {}
+    transform = wires_instance.transform
+    for layer_box in wires_instance.definition.flatten(transform):
+        layers.setdefault(layer_box.layer, []).append(layer_box.box)
+    components = wire_components(layers, style)
+
+    prefix = f"{wires_name}/"
+    ports = [
+        port
+        for port in composite.flatten_ports(Transform())
+        if not port.name.startswith(prefix)
+    ]
+    groups: List[List[str]] = []
+    for component in components:
+        attached = sorted(
+            {
+                port.name
+                for port in ports
+                for layer, box in component
+                if _attaches(port, layer, box, style.via_layer)
+            }
+        )
+        if attached:
+            groups.append(attached)
+    return sorted(groups)

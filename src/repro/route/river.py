@@ -1,0 +1,188 @@
+"""River routing: planar, single-layer wiring between two facing edges.
+
+A river channel connects pin ``i`` on the bottom edge to pin ``i`` on
+the top edge, for pins listed in the same left-to-right order on both
+edges (no crossings needed, so one wiring layer suffices — the classic
+companion of abutment-based generators: when two generated arrays
+almost line up, a river channel absorbs the remaining skew).
+
+Wires are monotone rectilinear *staircases* built by the leftmost
+greedy: within each direction group (rightward / leftward movers),
+wire ``i`` hugs wire ``i-1`` at one pitch of clearance.  With ``T``
+tracks, ``X[i][t]`` — the column where wire ``i`` rises from track
+``t-1`` to ``t`` — satisfies the recurrence::
+
+    X[i][t] = max(a_i, X[i-1][t+1] + pitch)      (X[i-1][T] = b_{i-1})
+
+and the channel is feasible at height ``T`` iff every bottom pin
+clears its predecessor's first run (``a_i >= X[i-1][1] + pitch``).
+The smallest feasible ``T`` is found by sweeping up from the wires'
+crossing density, so the height tracks the information-theoretic
+minimum instead of degrading to one track per wire on long skews.
+Wires that line up exactly are drawn as straight verticals outside any
+track, and leftward movers are routed as mirrored rightward movers.
+Opposite-direction and straight wires can never interact when the pins
+along each edge keep one pitch of separation (their x extents stay
+disjoint), so the groups share tracks freely.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..geometry import Box
+from .style import RouteStyle, RoutingError
+from .wiring import Wiring
+
+__all__ = ["river_route"]
+
+
+def _validate_edge(xs: Sequence[int], side: str, pitch: int) -> None:
+    """Pins along one edge must be strictly ordered, one pitch apart."""
+    for left, right in zip(xs, xs[1:]):
+        if right - left < pitch:
+            raise RoutingError(
+                f"river {side} pins at x={left} and x={right} are closer"
+                f" than the pitch ({pitch})"
+            )
+
+
+def _density(group: List[Tuple[int, int]], pitch: int) -> int:
+    """Max number of wires a vertical cut must cross, pitch-grown."""
+    events = []
+    for a, b in group:
+        lo, hi = (a, b) if a < b else (b, a)
+        events.append((lo, 1))
+        events.append((hi + pitch, -1))
+    best = current = 0
+    for _, delta in sorted(events):
+        current += delta
+        best = max(best, current)
+    return best
+
+
+def _staircases(
+    group: List[Tuple[int, int]], tracks: int, pitch: int
+) -> Optional[List[List[int]]]:
+    """Leftmost rise columns for a rightward group, or None if infeasible.
+
+    Returns per wire the list ``[X[0..T]]`` with ``X[0] = a`` and
+    ``X[T] = b``; ``X[t]`` is where the wire rises onto track ``t``.
+    """
+    previous: Optional[List[int]] = None
+    result: List[List[int]] = []
+    for a, b in group:
+        xs = [a]
+        for t in range(1, tracks):
+            floor = previous[t + 1] + pitch if previous is not None else a
+            xs.append(max(a, floor))
+        xs.append(b)
+        if previous is not None and a < previous[1] + pitch:
+            return None  # bottom pin trapped under the predecessor's run
+        if xs[tracks - 1] > b:
+            return None  # cannot reach the top pin moving rightward
+        result.append(xs)
+        previous = xs
+    return result
+
+
+def river_route(
+    pairs: Sequence[Tuple[str, int, int]],
+    style: Optional[RouteStyle] = None,
+    y0: int = 0,
+) -> Wiring:
+    """Route order-preserving two-pin nets across a river channel.
+
+    ``pairs`` lists ``(net, bottom_x, top_x)``; sorting by bottom x must
+    also sort by top x (order preservation) or a :class:`RoutingError`
+    is raised — use the channel router for crossing nets.  Returns a
+    :class:`Wiring` whose height is the smallest the staircases allow.
+    """
+    if style is None:
+        from ..compact.rules import TECH_A
+
+        style = RouteStyle.single_layer(TECH_A)
+    ordered = sorted(pairs, key=lambda item: item[1])
+    bottoms = [item[1] for item in ordered]
+    tops = [item[2] for item in ordered]
+    pitch = style.pitch
+    _validate_edge(bottoms, "bottom", pitch)
+    _validate_edge(tops, "top", pitch)
+    if tops != sorted(tops):
+        raise RoutingError(
+            "pin order is not preserved between the edges; a river channel"
+            " cannot route crossing nets (use the channel router)"
+        )
+    names = [item[0] for item in ordered]
+    if len(set(names)) != len(names):
+        raise RoutingError("river nets must have distinct names")
+
+    rightward = [(a, b) for _, a, b in ordered if b > a]
+    leftward = [(-a, -b) for _, a, b in ordered if b < a]
+    leftward.reverse()  # mirrored coordinates reverse the processing order
+
+    tracks = max(
+        (_density(g, pitch) for g in (rightward, leftward) if g), default=0
+    )
+    solutions: dict = {}
+    while True:
+        if not rightward and not leftward:
+            break
+        right_xs = _staircases(rightward, tracks, pitch) if rightward else []
+        left_xs = _staircases(leftward, tracks, pitch) if leftward else []
+        if right_xs is not None and left_xs is not None:
+            solutions = {"right": right_xs, "left": left_xs}
+            break
+        tracks += 1
+
+    width = style.wire_width
+    margin = style.margin
+    if tracks:
+        height = 2 * margin + tracks * pitch - style.spacing
+    else:
+        height = max(1, 2 * margin)
+    wiring = Wiring(
+        router="river", style=style, y0=y0, height=height, tracks=tracks
+    )
+
+    def center(track: int) -> int:
+        return y0 + margin + width // 2 + track * pitch
+
+    def emit(net: str, xs: List[int], mirror: bool) -> None:
+        corners = [(xs[0], y0)]
+        for t in range(tracks):
+            corners.append((xs[t], center(t)))
+            corners.append((xs[t + 1], center(t)))
+        corners.append((xs[tracks], y0 + height))
+        for (x0, ya), (x1, yb) in zip(corners, corners[1:]):
+            if x0 == x1 and ya == yb:
+                continue
+            if mirror:
+                x0, x1 = -x0, -x1
+            lo_x = min(style.span(x0)[0], style.span(x1)[0])
+            hi_x = max(style.span(x0)[1], style.span(x1)[1])
+            lo_y = min(ya, yb)
+            hi_y = max(ya, yb)
+            if ya != yb:  # vertical piece: widen y to the wire's span
+                lo_y = lo_y if lo_y in (y0,) else lo_y - width // 2
+                hi_y = hi_y if hi_y in (y0 + height,) else hi_y - width // 2 + width
+            else:
+                lo_y, hi_y = lo_y - width // 2, lo_y - width // 2 + width
+            wiring.add(net, style.trunk_layer, Box(lo_x, lo_y, hi_x, hi_y))
+
+    right_index = left_index = 0
+    left_solution = solutions.get("left", [])
+    right_solution = solutions.get("right", [])
+    left_count = len(left_solution)
+    for net, a, b in ordered:
+        if a == b:
+            x_lo, x_hi = style.span(a)
+            wiring.add(net, style.trunk_layer, Box(x_lo, y0, x_hi, y0 + height))
+        elif b > a:
+            emit(net, right_solution[right_index], mirror=False)
+            right_index += 1
+        else:
+            # Leftward wires were mirrored and reversed; index from the end.
+            emit(net, left_solution[left_count - 1 - left_index], mirror=True)
+            left_index += 1
+    return wiring

@@ -1,0 +1,90 @@
+"""The routers' common output: wires as ordinary mask geometry.
+
+Both routers return a :class:`Wiring` — per-net lists of ``(layer,
+Box)`` wire pieces plus the derived channel height and track count.  A
+wiring knows how to regroup itself per layer (the shape
+:func:`~repro.compact.drc.check_layout` consumes), measure total
+wirelength, and emit itself as a :class:`~repro.core.cell.CellDefinition`
+so composites can instantiate routed channels like any other cell.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.cell import CellDefinition
+from ..geometry import Box
+from .style import RouteStyle
+
+__all__ = ["Wiring"]
+
+
+@dataclass
+class Wiring:
+    """Routed wires for one channel, in absolute coordinates.
+
+    ``router`` names the algorithm that produced it (``"river"`` or
+    ``"channel"``); ``tracks`` counts horizontal track levels used and
+    ``vias`` the trunk/branch junction squares (always 0 for river
+    wiring, which is single-layer).
+    """
+
+    router: str
+    style: RouteStyle
+    y0: int
+    height: int
+    tracks: int = 0
+    vias: int = 0
+    #: net name -> [(layer, box), ...]
+    wires: Dict[str, List[Tuple[str, Box]]] = field(default_factory=dict)
+
+    def add(self, net: str, layer: str, box: Box) -> None:
+        """Append one wire piece to ``net``."""
+        self.wires.setdefault(net, []).append((layer, box))
+
+    def layers(self) -> Dict[str, List[Box]]:
+        """All wire boxes regrouped per layer (the DRC oracle's shape)."""
+        grouped: Dict[str, List[Box]] = defaultdict(list)
+        for pieces in self.wires.values():
+            for layer, box in pieces:
+                grouped[layer].append(box)
+        return dict(grouped)
+
+    def wirelength(self) -> int:
+        """Total centre-line length of all wires, in lambda.
+
+        Each box contributes its long dimension; junction squares
+        (width == height == wire width) contribute nothing extra.
+        """
+        total = 0
+        width = self.style.wire_width
+        for pieces in self.wires.values():
+            for _, box in pieces:
+                total += max(box.width, box.height) - min(width, box.width, box.height)
+        return total
+
+    def net_names(self) -> List[str]:
+        """Sorted names of the nets this wiring connects."""
+        return sorted(self.wires)
+
+    def as_cell(self, name: str) -> CellDefinition:
+        """Emit the wires as a cell, one label per net at its first box."""
+        cell = CellDefinition(name)
+        for net in self.net_names():
+            pieces = self.wires[net]
+            for layer, box in pieces:
+                cell.add_box(layer, box.xmin, box.ymin, box.xmax, box.ymax)
+            _, first = pieces[0]
+            cx, cy = first.center2x()
+            cell.add_label(net, cx // 2, cy // 2)
+        return cell
+
+    def summary(self) -> str:
+        """One printable line: router, nets, tracks, height, length, vias."""
+        return (
+            f"{self.router}: {len(self.wires)} nets, {self.tracks} tracks,"
+            f" height {self.height}, wirelength {self.wirelength()},"
+            f" {self.vias} vias"
+        )

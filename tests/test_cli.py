@@ -131,3 +131,116 @@ class TestCompactFlags:
         parameter, _ = flow_files
         with pytest.raises(RsgError):
             run_flow(str(parameter), compact_axes="z")
+
+
+ROUTE_SAMPLE = """
+cell ctrl
+  box metal1 0 0 60 20
+  port c0 7 20 metal1
+  port c1 28 20 metal1
+  port c2 49 20 metal1
+end
+
+cell dpath
+  box metal1 0 0 60 20
+  port k0 7 0 metal1
+  port k1 28 0 metal1
+  port k2 49 0 metal1
+end
+"""
+
+ROUTE_DESIGN = """
+(mk_instance a ctrl)
+(mk_cell "solo" a)
+"""
+
+ROUTE_NETS = """
+bottom ctrl
+top dpath
+net w0 ctrl/c0 dpath/k0
+net w1 ctrl/c1 dpath/k1
+net w2 ctrl/c2 dpath/k2
+"""
+
+
+@pytest.fixture
+def route_files(tmp_path):
+    sample = tmp_path / "blocks.sample"
+    sample.write_text(ROUTE_SAMPLE)
+    design = tmp_path / "blocks.design"
+    design.write_text(ROUTE_DESIGN)
+    netfile = tmp_path / "blocks.net"
+    netfile.write_text(ROUTE_NETS)
+    output = tmp_path / "routed.cif"
+    parameter = tmp_path / "blocks.par"
+    parameter.write_text(
+        f".example_file:{sample}\n"
+        f".concept_file:{design}\n"
+        f".output_file:{output}\n"
+    )
+    return parameter, netfile, output
+
+
+class TestRouteFlags:
+    def test_route_composes_and_writes(self, route_files, capsys):
+        parameter, netfile, output = route_files
+        assert main([str(parameter), "--route", str(netfile)]) == 0
+        out = capsys.readouterr().out
+        assert "composed 'ctrl' + 'dpath'" in out
+        assert "river" in out
+        assert output.exists()
+        table = read_cif(str(output))
+        routed = table.lookup("solo_routed")
+        assert {i.definition.name for i in routed.instances} == {
+            "ctrl", "dpath", "solo_routed_wires",
+        }
+
+    def test_route_with_explicit_channel_router(self, route_files, capsys):
+        parameter, netfile, _ = route_files
+        assert main(
+            [str(parameter), "--route", str(netfile), "--router", "channel"]
+        ) == 0
+        assert "channel" in capsys.readouterr().out
+
+    def test_route_round_trip_via_run_flow(self, route_files):
+        from repro.compact import TECH_A, check_layout
+        from repro.route import RouteStyle, routed_netlist
+
+        parameter, netfile, _ = route_files
+        cell = run_flow(str(parameter), route_path=str(netfile))
+        style = RouteStyle.single_layer(TECH_A)
+        groups = routed_netlist(cell, style)
+        assert groups == [
+            ["ctrl/c0", "dpath/k0"],
+            ["ctrl/c1", "dpath/k1"],
+            ["ctrl/c2", "dpath/k2"],
+        ]
+        wires = next(i for i in cell.instances if i.name == "wires")
+        layers = {}
+        for layer_box in wires.definition.flatten():
+            layers.setdefault(layer_box.layer, []).append(layer_box.box)
+        assert check_layout(layers, TECH_A) == []
+
+    def test_router_without_route_rejected(self, route_files, capsys):
+        parameter, _, _ = route_files
+        with pytest.raises(SystemExit):
+            main([str(parameter), "--router", "channel"])
+        assert "--route" in capsys.readouterr().err
+
+    def test_missing_net_file_is_an_error(self, route_files, capsys):
+        parameter, _, _ = route_files
+        assert main([str(parameter), "--route", "/nonexistent.net"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_route_with_compact_rejected(self, route_files, capsys):
+        parameter, netfile, _ = route_files
+        with pytest.raises(SystemExit):
+            main([str(parameter), "--compact", "x", "--route", str(netfile)])
+        assert "cannot be combined" in capsys.readouterr().err
+        with pytest.raises(RsgError, match="cannot be combined"):
+            run_flow(str(parameter), compact_axes="x", route_path=str(netfile))
+
+    def test_route_with_unknown_technology_rejected(self, route_files):
+        parameter, netfile, _ = route_files
+        with pytest.raises(RsgError, match="unknown technology"):
+            run_flow(str(parameter), route_path=str(netfile), technology="C")

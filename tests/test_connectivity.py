@@ -65,6 +65,55 @@ class TestExtraction:
         assert set(netlist.dangling_ports()) == {"u0/left", "u0/right"}
 
 
+class TestNetIndex:
+    """The port-name -> net-index dict must mirror the nets list."""
+
+    def test_index_agrees_with_scan(self):
+        seg = wire_cell()
+        top = CellDefinition("top")
+        for i in range(20):
+            top.add_instance(seg, Vec2(10 * i, 0), NORTH, name=f"u{i}")
+        netlist = extract_ports(top)
+        for name in netlist.ports:
+            scanned = next(
+                i for i, net in enumerate(netlist.nets) if name in net
+            )
+            assert netlist.net_of(name) == scanned
+
+    def test_unknown_port_has_no_net(self):
+        netlist = extract_ports(CellDefinition("empty"))
+        assert netlist.net_of("ghost") is None
+        assert not netlist.connected("ghost", "ghoul")
+
+    def test_add_net_returns_index(self):
+        from repro.layout import PortNetlist
+
+        netlist = PortNetlist()
+        assert netlist.add_net(["p", "q"]) == 0
+        assert netlist.add_net(["r"]) == 1
+        assert netlist.net_of("r") == 1
+        assert netlist.connected("p", "q")
+
+    def test_wildcard_on_two_nets_connects_both_ways(self):
+        # A layerless port joins every layer group at its position; the
+        # old scan answered connected() asymmetrically for the second
+        # group, the indexed version must be symmetric.
+        a = CellDefinition("a")
+        a.add_port("p", 5, 5, "metal1")
+        b = CellDefinition("b")
+        b.add_port("q", 5, 5, "poly")
+        c = CellDefinition("c")
+        c.add_port("w", 5, 5, "")
+        top = CellDefinition("top")
+        top.add_instance(a, Vec2(0, 0), NORTH, name="ua")
+        top.add_instance(b, Vec2(0, 0), NORTH, name="ub")
+        top.add_instance(c, Vec2(0, 0), NORTH, name="uc")
+        netlist = extract_ports(top)
+        assert netlist.connected("uc/w", "ua/p")
+        assert netlist.connected("uc/w", "ub/q")
+        assert netlist.connected("ub/q", "uc/w")
+
+
 class TestMultiplierConnectivity:
     """The interfaces carry the architecture's connectivity: sum chains
     run vertically, carry chains horizontally."""

@@ -1,10 +1,10 @@
-"""Documentation-surface enforcement for the compaction layer.
+"""Documentation-surface enforcement for the compaction and routing layers.
 
 ``make docs-check`` runs exactly this module.  Every public module under
-``repro.compact`` (including the solver backends) must carry a module
-docstring, and every public class and function it defines must be
-documented — the compactor is the subsystem the architecture docs walk
-through, so an undocumented entry point is a docs regression.
+``repro.compact`` (including the solver backends) and ``repro.route``
+must carry a module docstring, and every public class and function they
+define must be documented — both subsystems are walked through in the
+architecture docs, so an undocumented entry point is a docs regression.
 """
 
 import importlib
@@ -14,17 +14,20 @@ import pkgutil
 import pytest
 
 import repro.compact
+import repro.route
 
 
 def _public_modules():
-    """Import every non-underscore module under repro.compact."""
-    modules = [repro.compact]
-    for info in pkgutil.walk_packages(
-        repro.compact.__path__, prefix="repro.compact."
-    ):
-        if info.name.rsplit(".", 1)[-1].startswith("_"):
-            continue
-        modules.append(importlib.import_module(info.name))
+    """Import every non-underscore module under the documented packages."""
+    modules = []
+    for package in (repro.compact, repro.route):
+        modules.append(package)
+        for info in pkgutil.walk_packages(
+            package.__path__, prefix=package.__name__ + "."
+        ):
+            if info.name.rsplit(".", 1)[-1].startswith("_"):
+                continue
+            modules.append(importlib.import_module(info.name))
     return modules
 
 

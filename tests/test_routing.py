@@ -1,0 +1,238 @@
+"""Tests for the routers: river staircases, channel left-edge, DRC."""
+
+import random
+
+import pytest
+
+from repro.compact import TECH_A, check_layout
+from repro.route import (
+    Pin,
+    RouteStyle,
+    RoutingError,
+    channel_route,
+    river_route,
+    wire_components,
+)
+
+RIVER = RouteStyle.single_layer(TECH_A)
+CHANNEL = RouteStyle.from_rules(TECH_A)
+
+
+def assert_clean(wiring, expected_nets):
+    """Zero DRC violations and one wire component per net."""
+    violations = check_layout(wiring.layers(), TECH_A)
+    assert violations == []
+    components = wire_components(wiring.layers(), wiring.style)
+    assert len(components) == expected_nets
+    return components
+
+
+class TestRouteStyle:
+    def test_from_rules_takes_worst_layer(self):
+        # contact width 4 and metal1 spacing 3 dominate under TECH_A
+        assert CHANNEL.wire_width == 4
+        assert CHANNEL.spacing == 3
+        assert CHANNEL.pitch == 7
+        assert CHANNEL.margin == 7
+
+    def test_single_layer_style(self):
+        assert RIVER.is_single_layer
+        assert RIVER.wire_width == 3
+        assert RIVER.pitch == 6
+        assert not CHANNEL.is_single_layer
+
+
+class TestRiverRouter:
+    def test_straight_wires_need_no_tracks(self):
+        wiring = river_route([("a", 0, 0), ("b", 10, 10)], RIVER)
+        assert wiring.tracks == 0
+        assert wiring.vias == 0
+        assert_clean(wiring, 2)
+
+    def test_constant_skew_uses_constant_tracks(self):
+        for n in (4, 16, 64):
+            pairs = [(f"n{i}", i * 14, i * 14 + 28) for i in range(n)]
+            wiring = river_route(pairs, RIVER)
+            assert wiring.tracks == river_route(pairs[:4], RIVER).tracks
+            assert_clean(wiring, n)
+
+    def test_left_and_right_shifts_coexist(self):
+        pairs = [("l", 30, 6), ("r", 40, 64), ("s", 80, 80)]
+        wiring = river_route(pairs, RIVER)
+        assert_clean(wiring, 3)
+
+    def test_crossing_rejected(self):
+        with pytest.raises(RoutingError):
+            river_route([("a", 0, 20), ("b", 10, 6)], RIVER)
+
+    def test_close_pins_rejected(self):
+        with pytest.raises(RoutingError):
+            river_route([("a", 0, 0), ("b", 3, 3)], RIVER)
+
+    def test_duplicate_net_names_rejected(self):
+        with pytest.raises(RoutingError):
+            river_route([("a", 0, 0), ("a", 10, 10)], RIVER)
+
+    def test_randomised_monotone_buses_route_clean(self):
+        rng = random.Random(5)
+        for _ in range(25):
+            n = rng.randint(1, 30)
+            xb = xt = 0
+            pairs = []
+            for i in range(n):
+                xb += rng.randint(RIVER.pitch, 30)
+                xt += rng.randint(RIVER.pitch, 30)
+                pairs.append((f"n{i}", xb, xt))
+            wiring = river_route(pairs, RIVER)
+            assert_clean(wiring, n)
+
+
+class TestChannelRouter:
+    def test_two_pin_swap(self):
+        pins = [
+            Pin(0, "bottom", "a", "metal1"),
+            Pin(35, "top", "a", "metal1"),
+            Pin(14, "bottom", "b", "metal1"),
+            Pin(21, "top", "b", "metal1"),
+        ]
+        wiring = channel_route(pins, CHANNEL)
+        assert wiring.tracks == 2
+        assert_clean(wiring, 2)
+
+    def test_vertical_constraint_orders_tracks(self):
+        # Column 14 holds a top pin of A and a bottom pin of B: A's
+        # trunk must end up above B's.
+        pins = [
+            Pin(0, "bottom", "A"),
+            Pin(14, "top", "A"),
+            Pin(14, "bottom", "B"),
+            Pin(28, "top", "B"),
+        ]
+        wiring = channel_route(pins, CHANNEL)
+        a_trunk = next(b for l, b in wiring.wires["A"] if l == CHANNEL.trunk_layer)
+        b_trunk = next(b for l, b in wiring.wires["B"] if l == CHANNEL.trunk_layer)
+        assert a_trunk.ymin > b_trunk.ymax
+        assert_clean(wiring, 2)
+
+    def test_pin_dogleg_breaks_cycle(self):
+        # A's extra bottom pin at 20 splits its trunk: without the
+        # dogleg, A-above-B (col 10) and B-above-A (col 30) would cycle.
+        pins = [
+            Pin(10, "top", "A"),
+            Pin(20, "bottom", "A"),
+            Pin(30, "bottom", "A"),
+            Pin(10, "bottom", "B"),
+            Pin(30, "top", "B"),
+        ]
+        wiring = channel_route(pins, CHANNEL)
+        trunks = [b for l, b in wiring.wires["A"] if l == CHANNEL.trunk_layer]
+        assert len(trunks) == 2
+        assert_clean(wiring, 2)
+
+    def test_mid_channel_dogleg_breaks_rotation_cycle(self):
+        # A 3-net rotation has a cyclic VCG with no pin to split at;
+        # the router must invent a dogleg column.
+        pins = [
+            Pin(0, "bottom", "a"), Pin(28, "top", "a"),
+            Pin(14, "bottom", "b"), Pin(0, "top", "b"),
+            Pin(28, "bottom", "c"), Pin(14, "top", "c"),
+        ]
+        wiring = channel_route(pins, CHANNEL)
+        assert_clean(wiring, 3)
+
+    def test_unbreakable_cycle_rejected(self):
+        # Two nets sharing both columns in opposite order leave no room
+        # for any dogleg: must refuse, not loop or emit shorts.
+        pins = [
+            Pin(0, "bottom", "A"), Pin(7, "top", "A"),
+            Pin(7, "bottom", "B"), Pin(0, "top", "B"),
+        ]
+        with pytest.raises(RoutingError, match="cyclic"):
+            channel_route(pins, CHANNEL)
+
+    def test_feedthrough_single_column(self):
+        pins = [
+            Pin(0, "bottom", "f"), Pin(0, "top", "f"),
+            Pin(14, "bottom", "g"), Pin(14, "top", "g"),
+        ]
+        wiring = channel_route(pins, CHANNEL)
+        assert_clean(wiring, 2)
+
+    def test_multi_pin_net(self):
+        pins = [
+            Pin(0, "bottom", "m"), Pin(14, "top", "m"), Pin(28, "bottom", "m"),
+            Pin(42, "bottom", "n"), Pin(56, "top", "n"),
+        ]
+        wiring = channel_route(pins, CHANNEL)
+        assert_clean(wiring, 2)
+
+    def test_pin_pads_connect_foreign_layers(self):
+        pins = [
+            Pin(0, "bottom", "a", "metal1"),
+            Pin(14, "top", "a", "diff"),
+        ]
+        wiring = channel_route(pins, CHANNEL)
+        layers = wiring.layers()
+        assert "diff" in layers and "metal1" in layers
+        assert len(wire_components(layers, CHANNEL)) == 1
+
+    def test_single_pin_net_rejected(self):
+        with pytest.raises(RoutingError, match="single pin"):
+            channel_route([Pin(0, "bottom", "x"), Pin(14, "top", "y"),
+                           Pin(28, "bottom", "y")], CHANNEL)
+
+    def test_close_columns_rejected(self):
+        pins = [
+            Pin(0, "bottom", "a"), Pin(3, "top", "a"),
+        ]
+        with pytest.raises(RoutingError, match="closer than the pitch"):
+            channel_route(pins, CHANNEL)
+
+    def test_shared_column_same_side_rejected(self):
+        pins = [
+            Pin(0, "bottom", "a"), Pin(0, "bottom", "b"),
+        ]
+        with pytest.raises(RoutingError, match="share column"):
+            channel_route(pins, CHANNEL)
+
+    def test_randomised_permutations_route_clean(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            n = rng.randint(2, 14)
+            perm = list(range(n))
+            rng.shuffle(perm)
+            pins = []
+            for i in range(n):
+                pins.append(Pin(i * 14, "bottom", f"n{i}", "metal1"))
+                pins.append(Pin(perm[i] * 14, "top", f"n{i}",
+                                rng.choice(["metal1", "poly", ""])))
+            wiring = channel_route(pins, CHANNEL)
+            assert_clean(wiring, n)
+
+    def test_randomised_multi_pin_nets_route_clean(self):
+        rng = random.Random(11)
+        for _ in range(15):
+            n = rng.randint(2, 6)
+            columns = iter(range(0, 3000, 14))
+            pins = []
+            for i in range(n):
+                for _ in range(rng.randint(2, 5)):
+                    pins.append(
+                        Pin(next(columns), rng.choice(["bottom", "top"]),
+                            f"m{i}", "metal1")
+                    )
+            wiring = channel_route(pins, CHANNEL)
+            assert_clean(wiring, n)
+
+
+class TestWiring:
+    def test_as_cell_carries_boxes_and_labels(self):
+        wiring = river_route([("sig", 0, 20)], RIVER)
+        cell = wiring.as_cell("w")
+        assert len(cell.boxes) == len(wiring.wires["sig"])
+        assert [label.text for label in cell.labels] == ["sig"]
+
+    def test_summary_mentions_router_and_tracks(self):
+        wiring = river_route([("sig", 0, 20)], RIVER)
+        text = wiring.summary()
+        assert "river" in text and "tracks" in text
