@@ -12,13 +12,20 @@ test:
 # The glob matters: bench_*.py does not match pytest's default
 # test_*.py collection pattern, so naming the files explicitly is what
 # makes them collect (a bare `pytest benchmarks/` silently runs none).
+# Benchmarks that call the `record` fixture also write their timing
+# rows to BENCH_compaction.json at the repo root on session finish —
+# the machine-readable perf trajectory (docs/architecture.md).
 bench:
 	$(PY) -m pytest benchmarks/bench_*.py -q
 
 # One pass over every benchmark at its smallest size: the benchmark
 # fixture runs each workload once without timing loops, and the
 # REPRO_BENCH_SMOKE knob trims size-parameterised benchmarks (routing,
-# connectivity) to their smallest case.
+# connectivity) to their smallest case.  The sweep-kernel scaling
+# guards (bench_scanline, bench_sweep) still run here: doubling the
+# box count must stay sub-quadratic, so a regression to the O(n^2)
+# rescans fails CI.  BENCH_compaction.json is written here too (at the
+# smoke sizes) so CI can upload the trajectory per run.
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PY) -m pytest benchmarks/bench_*.py -q --benchmark-disable
 

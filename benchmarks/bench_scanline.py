@@ -1,16 +1,27 @@
 """E-6.7 — Figures 6.6/6.7: band scan versus the correct vertical scan.
 
-Three comparisons on randomized mask layouts:
+Comparisons on randomized mask layouts:
 * constraint counts — the visibility scan generates fewer constraints
   (shadowed pairs are implied transitively);
 * legality — the hidden-edge-skipping band scan misses the partially
   hidden pair of Figure 6.6 and emits an illegal layout;
-* cost — generation time of the two scanners.
+* cost — generation time of the two scanners;
+* the sweep kernel — the :class:`~repro.geometry.IntervalFront` front
+  versus the retained flat-list reference at n >= 2000 boxes (>= 5x
+  required), plus the CI scaling guard: doubling the box count must
+  grow the kernel's runtime sub-quadratically (< 3x).
+
+Timing rows land in ``BENCH_compaction.json`` via the ``record``
+fixture.  Set ``REPRO_BENCH_SMOKE=1`` for the small sizes (the speedup
+assertion is skipped there; the scaling guard still runs).
 """
 
+import os
 import random
 
 import pytest
+
+from conftest import best_time, compare_kernel, doubling_ratio, sweep_layout_pairs
 
 from repro.compact import (
     TECH_A,
@@ -19,10 +30,13 @@ from repro.compact import (
     compact_layout,
     naive_constraints,
     visibility_constraints,
+    visibility_constraints_reference,
 )
 from repro.compact.constraints import ConstraintSystem
 from repro.geometry import Box
 from repro.layout.database import FlatLayout
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
 
 def random_boxes(n, seed=11):
@@ -33,6 +47,8 @@ def random_boxes(n, seed=11):
         y = rng.randrange(0, 60, 2)
         boxes.append(("diff", Box(x, y, x + rng.randrange(2, 8), y + rng.randrange(2, 10))))
     return boxes
+
+
 
 
 @pytest.mark.parametrize("n", [20, 50, 100])
@@ -98,3 +114,65 @@ def test_constraint_count_comparison(benchmark, report):
 
 def test_figure_66_legality(benchmark, report):
     benchmark.pedantic(lambda: _impl_figure_66_legality(report), rounds=1, iterations=1)
+
+
+def _impl_kernel_speedup(report, record):
+    n = 400 if SMOKE else 2000
+    boxes = sweep_layout_pairs(n)
+
+    def run_new():
+        system, comp = build_edge_variables(boxes)
+        return visibility_constraints(system, comp, TECH_A)
+
+    def run_reference():
+        system, comp = build_edge_variables(boxes)
+        return visibility_constraints_reference(system, comp, TECH_A)
+
+    assert run_new() == run_reference()  # identical constraint counts
+    compare_kernel(
+        report,
+        record,
+        "scanline",
+        n,
+        run_new,
+        run_reference,
+        min_ratio=5.0,
+        smoke=SMOKE,
+    )
+
+
+def test_kernel_speedup(benchmark, report, record):
+    benchmark.pedantic(
+        lambda: _impl_kernel_speedup(report, record), rounds=1, iterations=1
+    )
+
+
+def _impl_visibility_scaling_guard(report, record):
+    # CI guard: doubling the box count must stay sub-quadratic (< 3x;
+    # a regression to the O(n^2) front would show ~4x).  Runs at smoke
+    # sizes too — this is the cheap canary for the kernel itself.
+    def measure(n):
+        boxes = sweep_layout_pairs(n)
+
+        def run():
+            system, comp = build_edge_variables(boxes)
+            return visibility_constraints(system, comp, TECH_A)
+
+        return best_time(run, repeats=5)
+
+    ratio, t_small, t_large = doubling_ratio(measure, 600, 1200, limit=3.0)
+    record("scanline", 600, t_small)
+    record("scanline", 1200, t_large)
+    report(
+        "E-SWEEP visibility scaling guard (600 -> 1200 boxes):"
+        f" {ratio:.2f}x (must be < 3)"
+    )
+    assert ratio < 3.0, f"visibility scan grew {ratio:.2f}x on doubling"
+
+
+def test_visibility_scaling_guard(benchmark, report, record):
+    benchmark.pedantic(
+        lambda: _impl_visibility_scaling_guard(report, record),
+        rounds=1,
+        iterations=1,
+    )

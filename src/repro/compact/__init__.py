@@ -1,12 +1,12 @@
 """The leaf-cell compaction study (chapter 6)."""
 
 from .constraints import Constraint, ConstraintSystem
-from .drc import Violation, check_layout
+from .drc import Violation, check_layout, check_layout_reference
 from .flat import CompactionResult, compact_cell, compact_layout, compact_layout_xy
 from .layers import cut_count, expand_contact, expand_gate, expand_layout
 from .leafcell import LeafCellCompactor, LeafCellResult, PitchCost, pitch_name
 from .rubberband import alignment_pairs, misalignment, rubber_band_solve
-from .rules import TECH_A, TECH_B, ContactRule, DesignRules
+from .rules import TECH_A, TECH_B, ContactRule, DesignRules, RuleTables
 from .scanline import (
     CompactionBox,
     add_width_constraints,
@@ -14,6 +14,7 @@ from .scanline import (
     naive_constraints,
     rebuild_boxes,
     visibility_constraints,
+    visibility_constraints_reference,
 )
 from .solver import SolveStats, solve_longest_path
 from .solvers import (
@@ -32,6 +33,7 @@ __all__ = [
     "ConstraintSystem",
     "Violation",
     "check_layout",
+    "check_layout_reference",
     "CompactionResult",
     "compact_cell",
     "compact_layout",
@@ -48,6 +50,7 @@ __all__ = [
     "misalignment",
     "rubber_band_solve",
     "DesignRules",
+    "RuleTables",
     "ContactRule",
     "TECH_A",
     "TECH_B",
@@ -56,6 +59,7 @@ __all__ = [
     "add_width_constraints",
     "naive_constraints",
     "visibility_constraints",
+    "visibility_constraints_reference",
     "rebuild_boxes",
     "SolveStats",
     "solve_longest_path",

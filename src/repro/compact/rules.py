@@ -10,9 +10,9 @@ one rule set into another) can run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
-__all__ = ["DesignRules", "ContactRule", "TECH_A", "TECH_B"]
+__all__ = ["DesignRules", "RuleTables", "ContactRule", "TECH_A", "TECH_B"]
 
 LayerPair = FrozenSet[str]
 
@@ -25,6 +25,25 @@ class ContactRule:
     cut_spacing: int = 2
     metal_overlap: int = 1
     poly_overlap: int = 1
+
+
+@dataclass(frozen=True)
+class RuleTables:
+    """Plain-dict memo of :class:`DesignRules` lookups for hot loops.
+
+    Constraint generation and DRC call ``rules.spacing``/``rules.width``
+    once per candidate pair in their inner loops; each call pays a
+    method dispatch plus (for spacing) a ``frozenset`` allocation.  A
+    ``RuleTables`` is built once per compaction or checking run over the
+    layer universe actually present, after which the inner loops are
+    single dict indexing operations.
+    """
+
+    #: minimum drawn width per layer
+    width: Dict[str, int]
+    #: required spacing per ordered layer pair (both orders present);
+    #: ``None`` means the pair is unconstrained
+    spacing: Dict[Tuple[str, str], Optional[int]]
 
 
 @dataclass
@@ -49,6 +68,21 @@ class DesignRules:
         if layer_a == layer_b:
             return self.min_spacing.get(layer_a)
         return self.inter_spacing.get(frozenset((layer_a, layer_b)))
+
+    def tables(self, layers: Iterable[str]) -> RuleTables:
+        """Memoize width/spacing lookups for ``layers`` into plain dicts.
+
+        Built once per compaction/DRC run; the returned
+        :class:`RuleTables` answers every ``(layer, layer)`` spacing
+        query over the given universe by dict indexing alone.
+        """
+        names = sorted(set(layers))
+        return RuleTables(
+            width={name: self.width(name) for name in names},
+            spacing={
+                (a, b): self.spacing(a, b) for a in names for b in names
+            },
+        )
 
     def constrained_pairs(self) -> Tuple[LayerPair, ...]:
         """Every layer pair (or single layer) with a spacing rule."""

@@ -1,6 +1,13 @@
-"""Geometry substrate: integer grid vectors, boxes, and the D4 group."""
+"""Geometry substrate: vectors, boxes, the D4 group, and the sweep kernel."""
 
 from .box import Box
+from .sweep import (
+    IntervalFront,
+    interval_gaps,
+    merge_intervals,
+    slab_decompose,
+    subtract_intervals,
+)
 from .orientation import (
     ALL_ORIENTATIONS,
     EAST,
@@ -20,6 +27,11 @@ from .vector import ORIGIN, Vec2
 
 __all__ = [
     "Box",
+    "IntervalFront",
+    "merge_intervals",
+    "subtract_intervals",
+    "interval_gaps",
+    "slab_decompose",
     "Orientation",
     "Transform",
     "Vec2",

@@ -13,9 +13,34 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
 from ..core.cell import CellDefinition, Label, LayerBox, Port
-from ..geometry import Box, Transform
+from ..geometry import Box, Transform, slab_decompose
 
-__all__ = ["FlatLayout", "flatten_cell", "merge_boxes"]
+__all__ = ["FlatLayout", "flatten_cell", "merge_boxes", "merge_boxes_reference"]
+
+
+def _coalesce_slabs(
+    slabs: List[Tuple[int, int, Tuple[Tuple[int, int], ...]]]
+) -> List[Box]:
+    """Coalesce consecutive slabs with identical x spans into boxes."""
+    result: List[Box] = []
+    open_spans: Dict[Tuple[int, int], int] = {}
+    previous_y1: Optional[int] = None
+    for y0, y1, spans in slabs:
+        continued = previous_y1 == y0
+        next_open: Dict[Tuple[int, int], int] = {}
+        for span in spans:
+            if continued and span in open_spans:
+                next_open[span] = open_spans.pop(span)
+            else:
+                next_open[span] = y0
+        for span, start in open_spans.items():
+            result.append(Box(span[0], start, span[1], y0 if continued else previous_y1))
+        open_spans = next_open
+        previous_y1 = y1
+    for span, start in open_spans.items():
+        result.append(Box(span[0], start, span[1], previous_y1))
+    result.sort(key=lambda b: (b.ymin, b.xmin, b.ymax, b.xmax))
+    return result
 
 
 def merge_boxes(boxes: List[Box]) -> List[Box]:
@@ -26,6 +51,29 @@ def merge_boxes(boxes: List[Box]) -> List[Box]:
     vertical edges inside any strip row.  The decomposition slices the
     union region at every distinct y coordinate and merges x intervals
     within each slab, then coalesces vertically identical spans.
+
+    The slab runs come from the sweep kernel
+    (:func:`repro.geometry.slab_decompose`): one y-event sweep carries
+    the active intervals, so the cost is event maintenance plus
+    output-sensitive run merging instead of the ``O(slabs x boxes)``
+    rescan of :func:`merge_boxes_reference`.  Output is identical.
+    """
+    if not boxes:
+        return []
+    slabs: List[Tuple[int, int, Tuple[Tuple[int, int], ...]]] = []
+    for y0, y1, runs in slab_decompose({"": boxes}):
+        spans = runs[""]
+        if spans:
+            slabs.append((y0, y1, tuple(spans)))
+    return _coalesce_slabs(slabs)
+
+
+def merge_boxes_reference(boxes: List[Box]) -> List[Box]:
+    """The pre-kernel strip merger, retained as an equivalence oracle.
+
+    Rebuilds every slab's intervals by scanning *all* boxes per slab —
+    quadratic on real cells — and must produce the identical box list
+    to :func:`merge_boxes` on any input.
     """
     if not boxes:
         return []
@@ -48,27 +96,7 @@ def merge_boxes(boxes: List[Box]) -> List[Box]:
             else:
                 merged.append([x0, x1])
         slabs.append((y0, y1, tuple((a, b) for a, b in merged)))
-
-    # Coalesce consecutive slabs with identical x spans.
-    result: List[Box] = []
-    open_spans: Dict[Tuple[int, int], int] = {}
-    previous_y1: Optional[int] = None
-    for y0, y1, spans in slabs:
-        continued = previous_y1 == y0
-        next_open: Dict[Tuple[int, int], int] = {}
-        for span in spans:
-            if continued and span in open_spans:
-                next_open[span] = open_spans.pop(span)
-            else:
-                next_open[span] = y0
-        for span, start in open_spans.items():
-            result.append(Box(span[0], start, span[1], y0 if continued else previous_y1))
-        open_spans = next_open
-        previous_y1 = y1
-    for span, start in open_spans.items():
-        result.append(Box(span[0], start, span[1], previous_y1))
-    result.sort(key=lambda b: (b.ymin, b.xmin, b.ymax, b.xmax))
-    return result
+    return _coalesce_slabs(slabs)
 
 
 class FlatLayout:

@@ -28,7 +28,7 @@ from .compose import (
     compose_from_netfile,
     parse_net_file,
 )
-from .extract import routed_netlist, wire_components
+from .extract import routed_netlist, wire_components, wire_components_reference
 from .river import river_route
 from .style import RouteStyle, RoutingError
 from .wiring import Wiring
@@ -44,6 +44,7 @@ __all__ = [
     "parse_net_file",
     "routed_netlist",
     "wire_components",
+    "wire_components_reference",
     "RouteStyle",
     "RoutingError",
     "Wiring",

@@ -1,0 +1,207 @@
+"""Equivalence of the sweep-kernel geometry passes and their oracles.
+
+The sweep kernel (:mod:`repro.geometry.sweep`) rebuilt four hot paths —
+visibility constraint generation, DRC, box merging, wire extraction —
+whose pre-kernel implementations are retained as ``*_reference``
+functions.  These property tests drive randomized layouts through both
+builds across multiple seeds and densities and require *identical*
+observable results: the same constraint multiset and solved widths, the
+same merged geometry, the same violation multiset, the same extracted
+components.  Plus direct unit coverage of the kernel primitives.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.compact import (
+    TECH_A,
+    TECH_B,
+    add_width_constraints,
+    build_edge_variables,
+    check_layout,
+    check_layout_reference,
+    solve_longest_path,
+    visibility_constraints,
+    visibility_constraints_reference,
+)
+from repro.geometry import (
+    Box,
+    IntervalFront,
+    interval_gaps,
+    merge_intervals,
+    slab_decompose,
+    subtract_intervals,
+)
+from repro.layout.database import merge_boxes, merge_boxes_reference
+from repro.route.extract import wire_components, wire_components_reference
+from repro.route.style import RouteStyle
+
+LAYERS = ["diff", "poly", "metal1", "implant"]
+
+# (seed, boxes, coordinate spread): spread ~ n gives sparse layouts with
+# deep fronts, spread << n gives dense overlapping material.
+CASES = [
+    (seed, n, spread)
+    for seed in (1, 2, 3, 4, 5)
+    for n, spread in ((8, 20), (40, 60), (40, 400), (120, 300), (120, 2000))
+]
+
+
+def random_pairs(seed, n, spread):
+    """A randomized (layer, box) layout; includes degenerate boxes."""
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(n):
+        x = rng.randrange(0, spread)
+        y = rng.randrange(0, spread)
+        pairs.append(
+            (
+                rng.choice(LAYERS),
+                Box(x, y, x + rng.randrange(0, 9), y + rng.randrange(0, 9)),
+            )
+        )
+    return pairs
+
+
+def constraint_multiset(system):
+    return Counter(
+        (c.source, c.target, c.weight, c.kind) for c in system.constraints
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel primitives
+# ----------------------------------------------------------------------
+class TestIntervalUtilities:
+    def test_merge_coalesces_touching_and_overlapping(self):
+        assert merge_intervals([(5, 7), (0, 2), (2, 4), (6, 9)]) == [(0, 4), (5, 9)]
+
+    def test_merge_drops_empty(self):
+        assert merge_intervals([(3, 3), (1, 2)]) == [(1, 2)]
+
+    def test_subtract_splits_and_clips(self):
+        assert subtract_intervals([(0, 10)], [(2, 4), (6, 20)]) == [
+            (0, 2),
+            (4, 6),
+        ]
+
+    def test_subtract_disjoint_cut_is_noop(self):
+        assert subtract_intervals([(0, 5)], [(7, 9)]) == [(0, 5)]
+
+    def test_gaps_between_runs(self):
+        assert interval_gaps([(0, 2), (5, 6), (9, 12)]) == [(2, 5), (6, 9)]
+
+    def test_gaps_of_touching_runs_empty(self):
+        assert interval_gaps([(0, 2), (2, 4)]) == []
+
+
+class TestIntervalFront:
+    def test_stab_returns_overlapping_segments_in_order(self):
+        front = IntervalFront()
+        front.replace(0, 4, "a")
+        front.replace(6, 9, "b")
+        assert [p for _, _, p in front.stab(3, 7)] == ["a", "b"]
+        assert front.stab(4, 6) == []  # touching is not overlap
+
+    def test_replace_consumes_covered_range(self):
+        front = IntervalFront()
+        front.replace(0, 10, "a")
+        front.replace(2, 6, "b")
+        assert [(y0, y1, p) for y0, y1, p in front.segments()] == [
+            (0, 2, "a"),
+            (2, 6, "b"),
+            (6, 10, "a"),
+        ]
+
+    def test_replace_keep_predicate_shadows(self):
+        front = IntervalFront()
+        front.replace(0, 10, "long")
+        front.replace(4, 12, "new", keep=lambda p: p == "long")
+        assert [(y0, y1, p) for y0, y1, p in front.segments()] == [
+            (0, 10, "long"),
+            (10, 12, "new"),
+        ]
+
+    def test_empty_range_is_noop(self):
+        front = IntervalFront()
+        front.replace(5, 5, "a")
+        assert len(front) == 0
+
+
+class TestSlabDecompose:
+    def test_runs_merge_within_slab(self):
+        layers = {"m": [Box(0, 0, 4, 10), Box(4, 0, 8, 10), Box(12, 2, 14, 8)]}
+        # The yielded runs dict is reused between slabs: snapshot inline.
+        slabs = [
+            (y0, y1, tuple(runs["m"])) for y0, y1, runs in slab_decompose(layers)
+        ]
+        assert slabs == [
+            (0, 2, ((0, 8),)),
+            (2, 8, ((0, 8), (12, 14))),
+            (8, 10, ((0, 8),)),
+        ]
+
+    def test_degenerate_boxes_cut_grid_without_material(self):
+        layers = {"m": [Box(0, 0, 4, 10), Box(0, 5, 0, 5)]}
+        slabs = [(y0, y1, tuple(runs["m"])) for y0, y1, runs in slab_decompose(layers)]
+        assert slabs == [(0, 5, ((0, 4),)), (5, 10, ((0, 4),))]
+
+
+# ----------------------------------------------------------------------
+# Path equivalence on randomized layouts
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed,n,spread", CASES)
+@pytest.mark.parametrize("rules", [TECH_A, TECH_B], ids=lambda r: r.name)
+class TestEquivalence:
+    def test_visibility_constraints_and_solved_widths(self, seed, n, spread, rules):
+        pairs = random_pairs(seed, n, spread)
+        kernel_system, kernel_boxes = build_edge_variables(pairs)
+        reference_system, reference_boxes = build_edge_variables(pairs)
+        kernel_count = visibility_constraints(kernel_system, kernel_boxes, rules)
+        reference_count = visibility_constraints_reference(
+            reference_system, reference_boxes, rules
+        )
+        assert kernel_count == reference_count
+        assert constraint_multiset(kernel_system) == constraint_multiset(
+            reference_system
+        )
+        # Identical constraints must solve to identical positions/widths;
+        # min-width mode keeps randomized layouts feasible.
+        add_width_constraints(kernel_system, kernel_boxes, rules, mode="min")
+        add_width_constraints(reference_system, reference_boxes, rules, mode="min")
+        kernel_stats = solve_longest_path(kernel_system)
+        reference_stats = solve_longest_path(reference_system)
+        assert kernel_stats.solution == reference_stats.solution
+        assert kernel_stats.width() == reference_stats.width()
+
+    def test_check_layout_violation_multiset(self, seed, n, spread, rules):
+        pairs = random_pairs(seed, n, spread)
+        layers = {}
+        for layer, box in pairs:
+            layers.setdefault(layer, []).append(box)
+        assert Counter(check_layout(layers, rules)) == Counter(
+            check_layout_reference(layers, rules)
+        )
+
+    def test_merge_boxes_identical_geometry(self, seed, n, spread, rules):
+        boxes = [box for _, box in random_pairs(seed, n, spread)]
+        assert merge_boxes(boxes) == merge_boxes_reference(boxes)
+
+
+@pytest.mark.parametrize("seed,n,spread", CASES)
+def test_wire_components_identical_grouping(seed, n, spread):
+    rng = random.Random(seed)
+    layers = {}
+    for _ in range(n):
+        layer = rng.choice(["metal1", "poly", "contact"])
+        x = rng.randrange(0, spread)
+        y = rng.randrange(0, spread)
+        layers.setdefault(layer, []).append(
+            Box(x, y, x + rng.randrange(1, 30), y + rng.randrange(1, 6))
+        )
+    style = RouteStyle()
+    assert wire_components(layers, style) == wire_components_reference(
+        layers, style
+    )
