@@ -21,11 +21,15 @@ bench:
 # One pass over every benchmark at its smallest size: the benchmark
 # fixture runs each workload once without timing loops, and the
 # REPRO_BENCH_SMOKE knob trims size-parameterised benchmarks (routing,
-# connectivity) to their smallest case.  The sweep-kernel scaling
-# guards (bench_scanline, bench_sweep) still run here: doubling the
-# box count must stay sub-quadratic, so a regression to the O(n^2)
-# rescans fails CI.  BENCH_compaction.json is written here too (at the
-# smoke sizes) so CI can upload the trajectory per run.
+# connectivity) to their smallest case.  The scaling guards still run
+# here: the sweep-kernel guards (bench_scanline, bench_sweep — doubling
+# the box count must stay sub-quadratic) and the hierarchy-pipeline
+# flatten guard (bench_hierarchy — doubling the instance count must
+# grow flatten time < 3x), so a regression to the O(n^2) rescans or to
+# instance-proportional transform work fails CI.  The bench_hierarchy
+# parallel case asserts jobs=2 output is identical to serial at every
+# size.  BENCH_compaction.json is written here too (at the smoke
+# sizes) so CI can upload the trajectory per run.
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PY) -m pytest benchmarks/bench_*.py -q --benchmark-disable
 

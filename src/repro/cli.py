@@ -17,13 +17,21 @@ Usage::
     python -m repro parameters.par
     python -m repro parameters.par --set xsize=8 --set ysize=8
     python -m repro parameters.par --compact xy --solver topological
+    python -m repro parameters.par --compact hier --jobs 4 --cache-dir .rsgcache
     python -m repro parameters.par --route wires.net --router channel
 
 ``--compact`` runs the chapter-6 flat compactor over the generated cell
-before it is written; ``--solver`` picks the longest-path backend from
-the :mod:`repro.compact.solvers` registry.  ``--route`` composes two
-cells from the workspace with the wiring subsystem: the net file names
-a bottom cell, a top cell and the nets to route between their facing
+before it is written (``x``/``y``/``xy``/``yx``), or — with ``hier`` —
+the compact-once/stamp-many hierarchical pipeline that compacts each
+distinct leaf cell exactly once and re-stamps every instance.
+``--solver`` picks the longest-path backend from the
+:mod:`repro.compact.solvers` registry.  ``--jobs N`` fans independent
+leaf-cell compactions out over N worker processes (``hier`` only;
+output is byte-identical to ``--jobs 1``), and ``--cache-dir``
+persists compaction results on disk so an unchanged cell is never
+compacted twice, even across runs.  ``--route`` composes two cells
+from the workspace with the wiring subsystem: the net file names a
+bottom cell, a top cell and the nets to route between their facing
 edges (see :func:`repro.route.compose.parse_net_file`); the routed
 composite becomes the output cell.
 """
@@ -34,7 +42,14 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .compact import TECH_A, TECH_B, available_solvers, compact_cell
+from .compact import (
+    TECH_A,
+    TECH_B,
+    CompactionCache,
+    HierarchicalCompactor,
+    available_solvers,
+    compact_cell,
+)
 from .core.cell import CellDefinition
 from .core.errors import RsgError
 from .core.operators import Rsg
@@ -56,6 +71,8 @@ def run_flow(
     technology: str = "A",
     route_path: Optional[str] = None,
     router: str = "auto",
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> CellDefinition:
     """Execute the full generation flow described by a parameter file.
 
@@ -63,10 +80,15 @@ def run_flow(
     strings applied on top of the parameter file (sizes, mostly).
     ``compact_axes`` (``"x"``, ``"y"``, ``"xy"``, ``"yx"``) runs the flat
     compactor over the result before writing, using the named ``solver``
-    backend and the ``technology`` rule set ("A" or "B").
-    ``route_path`` names a net-request file: the named cells are
-    composed with the wiring subsystem (``router`` picks the algorithm)
-    and the routed composite replaces the output cell.
+    backend and the ``technology`` rule set ("A" or "B");
+    ``compact_axes="hier"`` (or ``"hier:<axes>"`` to pick the per-leaf
+    passes) runs the hierarchical compact-once pipeline instead,
+    fanning leaf-cell solves over ``jobs`` worker processes.
+    ``cache_dir`` enables the on-disk compaction-result cache for
+    either compaction mode.  ``route_path`` names a net-request file:
+    the named cells are composed with the wiring subsystem (``router``
+    picks the algorithm) and the routed composite replaces the output
+    cell.
     """
     if compact_axes and route_path:
         # The composite is built from the workspace cells, which flat
@@ -106,7 +128,8 @@ def run_flow(
 
     if compact_axes:
         cell = _compact_flow_cell(
-            cell, compact_axes, solver, technology, output_stream
+            cell, compact_axes, solver, technology, output_stream,
+            jobs=jobs, cache_dir=cache_dir,
         )
 
     if route_path:
@@ -148,16 +171,48 @@ def _compact_flow_cell(
     solver: Optional[str],
     technology: str,
     output_stream,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> CellDefinition:
-    """Run one flat-compaction pass per axis letter over ``cell``."""
-    if axes not in ("x", "y", "xy", "yx"):
-        raise RsgError(f"--compact takes x, y, xy or yx, not {axes!r}")
+    """Run the requested compaction mode over ``cell``.
+
+    ``axes`` is one flat pass per letter (``x``/``y``/``xy``/``yx``) or
+    ``"hier"``/``"hier:<axes>"`` for the compact-once/stamp-many
+    hierarchical pipeline (bare ``hier`` compacts leaves along x;
+    ``hier:xy`` runs both passes per leaf).
+    """
+    hier_axes = None
+    if axes == "hier":
+        hier_axes = "x"
+    elif axes.startswith("hier:"):
+        hier_axes = axes[len("hier:"):]
+        if hier_axes not in ("x", "y", "xy", "yx"):
+            raise RsgError(
+                f"--compact hier:<axes> takes x, y, xy or yx, not {hier_axes!r}"
+            )
+    elif axes not in ("x", "y", "xy", "yx"):
+        raise RsgError(
+            f"--compact takes x, y, xy, yx, hier or hier:<axes>, not {axes!r}"
+        )
     rules = {"A": TECH_A, "B": TECH_B}.get(technology.upper())
     if rules is None:
         raise RsgError(f"unknown technology {technology!r} (use A or B)")
+    cache = CompactionCache(cache_dir) if cache_dir else None
+    if hier_axes is not None:
+        compactor = HierarchicalCompactor(
+            rules, axes=hier_axes, width_mode="preserve", solver=solver,
+            jobs=jobs, cache=cache,
+        )
+        cell = compactor.compact(cell)
+        if output_stream is not None:
+            print(compactor.last_report.summary(), file=output_stream)
+            if cache is not None:
+                print(cache.stats(), file=output_stream)
+        return cell
     for axis in axes:
         cell, result = compact_cell(
-            cell, rules, axis=axis, width_mode="preserve", solver=solver
+            cell, rules, axis=axis, width_mode="preserve", solver=solver,
+            cache=cache,
         )
         if output_stream is not None:
             print(
@@ -165,6 +220,8 @@ def _compact_flow_cell(
                 f" {result.width_after} ({result.stats})",
                 file=output_stream,
             )
+    if cache is not None and output_stream is not None:
+        print(cache.stats(), file=output_stream)
     return cell
 
 
@@ -189,9 +246,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--compact",
-        choices=["x", "y", "xy", "yx"],
+        choices=["x", "y", "xy", "yx", "hier", "hier:x", "hier:y", "hier:xy", "hier:yx"],
         metavar="AXES",
-        help="run the flat compactor over the result (x, y, xy or yx)",
+        help="run the flat compactor over the result (x, y, xy or yx),"
+        " or the compact-once/stamp-many hierarchical pipeline"
+        " ('hier' = per-leaf x pass; 'hier:xy' etc. pick the leaf passes)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for --compact hier leaf-cell fan-out"
+        " (default: 1; output is byte-identical for any N)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist compaction results under DIR so unchanged cells"
+        " are never compacted twice, even across runs",
     )
     parser.add_argument(
         "--solver",
@@ -222,6 +295,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--solver/--tech have no effect without --compact/--route")
     if arguments.solver and not arguments.compact:
         parser.error("--solver has no effect without --compact")
+    if arguments.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if arguments.jobs != 1 and not (
+        arguments.compact or ""
+    ).startswith("hier"):
+        parser.error("--jobs has no effect without --compact hier")
+    if arguments.cache_dir and not arguments.compact:
+        parser.error("--cache-dir has no effect without --compact")
     if arguments.router != "auto" and not arguments.route:
         parser.error("--router has no effect without --route")
     if arguments.compact and arguments.route:
@@ -237,6 +318,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             technology=arguments.tech or "A",
             route_path=arguments.route,
             router=arguments.router,
+            jobs=arguments.jobs,
+            cache_dir=arguments.cache_dir,
         )
     except (RsgError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)

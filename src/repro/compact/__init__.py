@@ -1,8 +1,21 @@
 """The leaf-cell compaction study (chapter 6)."""
 
+from .cache import (
+    CompactionCache,
+    cache_key,
+    fingerprint_cell,
+    fingerprint_layout,
+    fingerprint_rules,
+)
 from .constraints import Constraint, ConstraintSystem
 from .drc import Violation, check_layout, check_layout_reference
 from .flat import CompactionResult, compact_cell, compact_layout, compact_layout_xy
+from .pipeline import (
+    HierarchicalCompactor,
+    PipelineReport,
+    compact_cells,
+    distinct_leaf_cells,
+)
 from .layers import cut_count, expand_contact, expand_gate, expand_layout
 from .leafcell import LeafCellCompactor, LeafCellResult, PitchCost, pitch_name
 from .rubberband import alignment_pairs, misalignment, rubber_band_solve
@@ -29,6 +42,15 @@ from .solvers import (
 )
 
 __all__ = [
+    "CompactionCache",
+    "cache_key",
+    "fingerprint_cell",
+    "fingerprint_layout",
+    "fingerprint_rules",
+    "HierarchicalCompactor",
+    "PipelineReport",
+    "compact_cells",
+    "distinct_leaf_cells",
     "Constraint",
     "ConstraintSystem",
     "Violation",

@@ -1,0 +1,227 @@
+"""Content-addressed memoisation of compaction results (compact once).
+
+The paper's central economy is hierarchical reuse: a generator builds
+large arrays out of a handful of distinct leaf cells, so the expensive
+work — constraint generation plus longest-path/LP solving — should be
+paid once per *cell type*, not once per *instance* (and ideally once per
+*content*, across runs).  :class:`CompactionCache` memoizes
+:class:`~repro.compact.flat.CompactionResult` and
+:class:`~repro.compact.leafcell.LeafCellResult` values under a stable
+content hash of everything that determines the outcome:
+
+* the input geometry (box lists in insertion order, hierarchy included),
+* the :class:`~repro.compact.rules.DesignRules` content (widths,
+  spacings, contact expansion, gate rule — the ``name`` is deliberately
+  excluded so renamed-but-identical rule sets share entries),
+* the solver backend, width mode, axis, and the other driver options,
+* for leaf-cell compaction: the registered interfaces (pitch
+  constraints) and the pitch cost function.
+
+Entries live in an in-process dict and, when a ``directory`` is given,
+as pickle files named by their key — the on-disk form survives the
+process, so a re-generation run pays only fingerprinting.  Every lookup
+path deep-copies on the way in and out: callers may freely mutate what
+they get back without corrupting the cache.
+
+``cache=None`` everywhere reproduces the uncached behaviour exactly and
+is the equivalence oracle for the cached paths.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..core.cell import CellDefinition
+from .rules import DesignRules
+
+__all__ = [
+    "CompactionCache",
+    "cache_key",
+    "fingerprint_cell",
+    "fingerprint_layout",
+    "fingerprint_rules",
+]
+
+
+def cache_key(*parts: Any) -> str:
+    """SHA-256 over the ``repr`` of the given parts (order-sensitive)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+def fingerprint_rules(rules: DesignRules) -> str:
+    """Stable content hash of a rule set (the ``name`` is excluded).
+
+    Two rule sets with identical widths, spacings, contact expansion and
+    gate rule fingerprint identically; any table change produces a new
+    key and therefore a cache miss.
+    """
+    contact = rules.contact
+    return cache_key(
+        sorted(rules.min_width.items()),
+        sorted(rules.min_spacing.items()),
+        sorted(
+            (tuple(sorted(pair)), value)
+            for pair, value in rules.inter_spacing.items()
+        ),
+        (
+            contact.cut_size,
+            contact.cut_spacing,
+            contact.metal_overlap,
+            contact.poly_overlap,
+        ),
+        rules.gate_width,
+    )
+
+
+def _cell_parts(cell: CellDefinition, memo: Dict[int, str]) -> str:
+    known = memo.get(id(cell))
+    if known is not None:
+        return known
+    parts: list = ["boxes"]
+    for layer_box in cell.boxes:
+        box = layer_box.box
+        parts.append((layer_box.layer, box.xmin, box.ymin, box.xmax, box.ymax))
+    parts.append("ports")
+    for port in cell.ports:
+        parts.append((port.name, port.position.x, port.position.y, port.layer))
+    parts.append("labels")
+    for label in cell.labels:
+        parts.append((label.text, label.position.x, label.position.y))
+    parts.append("instances")
+    for instance in cell.instances:
+        child = _cell_parts(instance.definition, memo)
+        if instance.is_placed:
+            parts.append(
+                (
+                    child,
+                    instance.location.x,
+                    instance.location.y,
+                    instance.orientation.r,
+                    instance.orientation.k,
+                )
+            )
+        else:
+            parts.append(("unplaced", child))
+    fingerprint = cache_key(*parts)
+    memo[id(cell)] = fingerprint
+    return fingerprint
+
+
+def fingerprint_cell(cell: CellDefinition) -> str:
+    """Content hash of a cell: geometry, ports, labels, placed subtree.
+
+    The cell *name* is excluded — two cells with identical content
+    fingerprint identically, which is what lets a library re-add of the
+    same geometry hit the cache.  Box order is part of the content (the
+    conservative choice: reordered boxes re-compact rather than risk a
+    solver-order-dependent reuse).
+    """
+    return _cell_parts(cell, {})
+
+
+def fingerprint_layout(layout) -> str:
+    """Content hash of a :class:`~repro.layout.database.FlatLayout`.
+
+    Layers are visited in sorted order (matching the driver's own
+    normalisation) with per-layer box lists in insertion order; ports
+    and labels are excluded because flat compaction ignores them.
+    """
+    parts: list = []
+    for layer in sorted(layout.layers):
+        parts.append(layer)
+        for box in layout.layers[layer]:
+            parts.append((box.xmin, box.ymin, box.xmax, box.ymax))
+    return cache_key(*parts)
+
+
+class CompactionCache:
+    """In-memory (and optionally on-disk) store of compaction results.
+
+    ``directory`` enables cross-run reuse: every entry is additionally
+    pickled to ``<directory>/<key>.pkl`` and lookups fall back to disk
+    on an in-memory miss, so a fresh process warm-starts from a previous
+    run's results.  Hit/miss counters make the reuse observable (the
+    CLI prints them).
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory: Optional[Path] = Path(directory) if directory else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return a private copy of the entry for ``key``, or ``None``.
+
+        Checks memory first, then the on-disk store; a disk hit is
+        promoted into memory.  Unreadable disk entries (partial writes,
+        version skew) count as misses rather than errors.
+        """
+        value = self.peek(key)
+        return copy.deepcopy(value) if value is not None else None
+
+    def peek(self, key: str) -> Optional[Any]:
+        """Like :meth:`get` but returns the *shared* stored object.
+
+        For read-only consumers on the hot path (the hierarchical
+        pipeline copies boxes out of the result anyway): skipping the
+        defensive deep copy is what makes a warm cache hit nearly free.
+        The returned value must not be mutated.
+        """
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        if self.directory is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    value = pickle.loads(path.read_bytes())
+                except Exception:
+                    value = None
+                if value is not None:
+                    self._memory[key] = value
+                    self.hits += 1
+                    self.disk_hits += 1
+                    return value
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a private copy of ``value`` under ``key``.
+
+        On-disk writes go through a temporary file and ``os.replace`` so
+        a concurrent reader never sees a torn entry.
+        """
+        value = copy.deepcopy(value)
+        self._memory[key] = value
+        if self.directory is not None:
+            path = self._path(key)
+            temporary = path.with_suffix(f".tmp{os.getpid()}")
+            temporary.write_bytes(pickle.dumps(value))
+            os.replace(temporary, path)
+
+    def stats(self) -> str:
+        """One printable line: entries, hits (disk share), misses."""
+        return (
+            f"cache: {len(self._memory)} entries, {self.hits} hits"
+            f" ({self.disk_hits} from disk), {self.misses} misses"
+        )

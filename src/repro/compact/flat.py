@@ -64,6 +64,7 @@ def compact_layout(
     sizing: Optional[Dict[Tuple[str, str], int]] = None,
     sort_edges: bool = True,
     solver: Optional[str] = None,
+    cache=None,
 ) -> CompactionResult:
     """Compact a flat layout along one axis.
 
@@ -74,13 +75,36 @@ def compact_layout(
     ``sizing``, which is rejected).  ``solver`` names the longest-path
     backend (see :mod:`repro.compact.solvers`); with ``width_mode="min"``
     the constraint graph is acyclic and ``"topological"`` solves it in a
-    single O(V+E) sweep.
+    single O(V+E) sweep.  ``cache`` (a
+    :class:`~repro.compact.cache.CompactionCache`) memoizes the whole
+    run under a content hash of the input geometry, the rule tables and
+    every option listed above; ``cache=None`` is the uncached oracle.
     """
     if merge and sizing:
         raise ValueError(
             "box merging loses the cell tags that device sizing needs"
             " (section 6.4.1); choose one"
         )
+    key = None
+    if cache is not None:
+        from .cache import cache_key, fingerprint_layout, fingerprint_rules
+
+        key = cache_key(
+            "flat",
+            fingerprint_layout(layout),
+            fingerprint_rules(rules),
+            method,
+            width_mode,
+            rubber_band,
+            axis,
+            merge,
+            sorted(sizing.items()) if sizing else None,
+            sort_edges,
+            solver or "",
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
     pairs: List[Tuple[str, Box]] = []
     for layer, boxes in sorted(layout.layers.items()):
         source = merge_boxes(boxes) if merge else boxes
@@ -137,6 +161,8 @@ def compact_layout(
     ]
     if xs:
         result.width_after = max(xs) - min(lows)
+    if cache is not None and key is not None:
+        cache.put(key, result)
     return result
 
 

@@ -42,7 +42,7 @@ from .scanline import (
     build_edge_variables,
     visibility_constraints,
 )
-from .solvers import get_solver
+from .solvers import DEFAULT_SOLVER, get_solver
 
 __all__ = ["PitchCost", "LeafCellResult", "LeafCellCompactor", "pitch_name"]
 
@@ -102,9 +102,15 @@ class LeafCellCompactor:
         self.rules = rules
         self.width_mode = width_mode
         self.solver = get_solver(solver)
+        self.solver_name = solver or DEFAULT_SOLVER
         self.system = ConstraintSystem()
         self._cell_boxes: Dict[str, List[CompactionBox]] = {}
+        #: cache-key snapshots taken at registration time:
+        #: name -> (geometry fingerprint, frozen, sizing)
+        self._cell_meta: Dict[str, Tuple[str, bool, Optional[Tuple]]] = {}
         self._interface_keys: List[Tuple[str, str, int]] = []
+        #: (fingerprint_a, fingerprint_b, index, vx, vy, r, k) snapshots
+        self._interface_meta: List[Tuple] = []
         self._frozen: List[str] = []
 
     # ------------------------------------------------------------------
@@ -127,6 +133,16 @@ class LeafCellCompactor:
         if name in self._cell_boxes:
             return self._cell_boxes[name]
         cell = self.rsg.cells.lookup(name)
+        # Fingerprint *now*: the constraints below snapshot this
+        # geometry, so the cache key must describe the registered state,
+        # not whatever the workspace holds at solve() time.
+        from .cache import fingerprint_cell
+
+        self._cell_meta[name] = (
+            fingerprint_cell(cell),
+            frozen,
+            tuple(sorted(sizing.items())) if sizing else None,
+        )
         pairs = [(item.layer, item.box) for item in cell.boxes]
         if not pairs:
             raise CompactionError(f"cell {name!r} has no boxes to compact")
@@ -177,6 +193,17 @@ class LeafCellCompactor:
         pitch = pitch_name(cell_a, cell_b, index)
         self.system.add_pitch(pitch)
         self._interface_keys.append((cell_a, cell_b, index))
+        self._interface_meta.append(
+            (
+                self._cell_meta[cell_a][0],
+                self._cell_meta[cell_b][0],
+                index,
+                interface.vector.x,
+                interface.vector.y,
+                interface.orientation.r,
+                interface.orientation.k,
+            )
+        )
         self._fold_interface_constraints(cell_a, cell_b, interface, pitch)
         return pitch
 
@@ -235,11 +262,24 @@ class LeafCellCompactor:
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
-    def solve(self, cost: Optional[PitchCost] = None) -> LeafCellResult:
+    def solve(self, cost: Optional[PitchCost] = None, cache=None) -> LeafCellResult:
         """Minimise the pitch cost by linear programming, round pitches
         to integers, re-solve edges exactly, and rebuild the library.
+
+        ``cache`` (a :class:`~repro.compact.cache.CompactionCache`)
+        memoizes the whole solve under a content hash of the registered
+        cells' geometry (with their frozen/sizing options), the
+        registered interfaces, the rule tables, the width mode, the
+        solver backend and the cost function — any change to one of
+        those is a miss; ``cache=None`` is the uncached oracle.
         """
         cost = cost or PitchCost()
+        key = None
+        if cache is not None:
+            key = self._cache_key(cost)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
         variables = self.system.variables
         pitches = self.system.pitches
         index = {name: position for position, name in enumerate(variables)}
@@ -276,7 +316,33 @@ class LeafCellCompactor:
             )
         fractional = {name: result.x[pitch_index[name]] for name in pitches}
         solved = self._integerise(fractional, cost)
-        return self._build_result(solved, cost)
+        built = self._build_result(solved, cost)
+        if cache is not None and key is not None:
+            cache.put(key, built)
+        return built
+
+    def _cache_key(self, cost: PitchCost) -> str:
+        """Content hash of everything that determines the solve outcome.
+
+        Built from the snapshots recorded by ``add_cell`` /
+        ``add_interface`` — the constraint system describes the geometry
+        as registered, so the key must too (fingerprinting the live
+        workspace here would let a post-registration mutation poison
+        the cache).
+        """
+        from .cache import cache_key, fingerprint_rules
+
+        return cache_key(
+            "leafcell",
+            [self._cell_meta[name] for name in self._cell_boxes],
+            self._interface_meta,
+            fingerprint_rules(self.rules),
+            self.width_mode,
+            self.solver_name,
+            sorted(cost.weights.items()),
+            cost.default_weight,
+            cost.size_weight,
+        )
 
     def _integerise(
         self, fractional: Dict[str, float], cost: PitchCost

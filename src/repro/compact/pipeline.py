@@ -1,0 +1,327 @@
+"""Compact-once / stamp-many: the hierarchical generation pipeline.
+
+A generated array is a handful of distinct leaf cells stamped thousands
+of times, so compaction cost should scale with *distinct cells*, not
+*instances*.  This module provides the two pieces the flat driver
+lacks:
+
+* :func:`compact_cells` — a batch fan-out that compacts several
+  independent cells, optionally in parallel across a process pool
+  (``jobs``) and through a :class:`~repro.compact.cache.CompactionCache`
+  (results keyed by content, so identical cells are solved once per run
+  and — with an on-disk cache — once *ever*).  Result order is the input
+  order regardless of worker scheduling, so parallel output is
+  deterministic.
+* :class:`HierarchicalCompactor` — the compact-once/stamp-many driver:
+  collect the distinct leaf definitions under a cell, compact each
+  exactly once (deduplicated by content fingerprint), and rebuild the
+  hierarchy with every instance re-stamped at its original placement.
+  The stamped rebuild pairs with the array-aware flatten memo in
+  :class:`~repro.core.cell.CellDefinition`, so downstream flattening is
+  O(instances) translations.
+
+``jobs=1, cache=None`` is the sequential uncached oracle: the parallel
+and cached paths must produce identical geometry (property-tested in
+``tests/test_pipeline_cache.py``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cell import CellDefinition
+from .cache import CompactionCache, cache_key, fingerprint_cell, fingerprint_rules
+from .flat import CompactionResult, compact_cell
+from .rules import DesignRules
+
+__all__ = [
+    "HierarchicalCompactor",
+    "PipelineReport",
+    "compact_cells",
+    "distinct_leaf_cells",
+]
+
+
+def _compact_one(
+    cell: CellDefinition,
+    rules: DesignRules,
+    axes: str,
+    width_mode: str,
+    solver: Optional[str],
+) -> Tuple[CellDefinition, CompactionResult]:
+    """One axis pass per letter of ``axes``; keeps the cell's name."""
+    result: Optional[CompactionResult] = None
+    for axis in axes:
+        cell, result = compact_cell(
+            cell, rules, name=cell.name, axis=axis,
+            width_mode=width_mode, solver=solver,
+        )
+    assert result is not None
+    return cell, result
+
+
+def _compact_worker(payload):
+    """Process-pool entry point: unpack, compact, repack by index."""
+    index, cell, rules, axes, width_mode, solver = payload
+    compacted, result = _compact_one(cell, rules, axes, width_mode, solver)
+    return index, compacted, result
+
+
+def compact_cells(
+    items: Sequence[Tuple[str, CellDefinition]],
+    rules: DesignRules,
+    jobs: int = 1,
+    cache: Optional[CompactionCache] = None,
+    axes: str = "x",
+    width_mode: str = "preserve",
+    solver: Optional[str] = None,
+) -> List[Tuple[str, CellDefinition, CompactionResult]]:
+    """Compact independent ``(name, cell)`` pairs, each at most once.
+
+    Cache lookups happen in the parent process; only misses are
+    dispatched, serially or — with ``jobs > 1`` — across a
+    ``concurrent.futures`` process pool.  Results come back in input
+    order whatever the completion order, and misses are written back to
+    the cache so the next run (or the next batch) hits.  Cache hits are
+    returned as shared (not copied) objects — treat them as read-only,
+    or copy before mutating.  Machines that cannot spawn worker
+    processes fall back to the serial path.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, not {jobs}")
+    results: List[Optional[Tuple[str, CellDefinition, CompactionResult]]] = [
+        None
+    ] * len(items)
+    pending: List[Tuple[int, CellDefinition]] = []
+    keys: Dict[int, str] = {}
+    rules_print = fingerprint_rules(rules) if cache is not None else ""
+    for index, (name, cell) in enumerate(items):
+        if cache is not None:
+            key = cache_key(
+                "pipeline",
+                fingerprint_cell(cell),
+                rules_print,
+                axes,
+                width_mode,
+                solver or "",
+            )
+            keys[index] = key
+            # peek, not get: the stamped rebuild only reads the cached
+            # cell, so the defensive copy would be pure overhead.
+            hit = cache.peek(key)
+            if hit is not None:
+                compacted, result = hit
+                results[index] = (name, compacted, result)
+                continue
+        pending.append((index, cell))
+
+    def finish(index: int, compacted: CellDefinition, result: CompactionResult) -> None:
+        name = items[index][0]
+        results[index] = (name, compacted, result)
+        if cache is not None:
+            cache.put(keys[index], (compacted, result))
+
+    if jobs > 1 and len(pending) > 1:
+        payloads = [
+            (index, cell, rules, axes, width_mode, solver)
+            for index, cell in pending
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for index, compacted, result in pool.map(_compact_worker, payloads):
+                    finish(index, compacted, result)
+            pending = []
+        except (OSError, BrokenExecutor):
+            # No process support (restricted sandboxes) or a worker died
+            # mid-batch (OOM kill): fall through to the serial path for
+            # whatever did not complete.
+            pending = [
+                (index, cell) for index, cell in pending if results[index] is None
+            ]
+    for index, cell in pending:
+        compacted, result = _compact_one(cell, rules, axes, width_mode, solver)
+        finish(index, compacted, result)
+    return [entry for entry in results if entry is not None]
+
+
+def distinct_leaf_cells(cell: CellDefinition) -> List[CellDefinition]:
+    """Distinct leaf definitions under ``cell``, in first-encounter order.
+
+    A *leaf* is a definition with boxes and no sub-instances — the
+    sample-library cells the generators stamp.  Distinctness is by
+    definition object; content-level deduplication happens in the
+    compaction batch via fingerprints.
+    """
+    seen: Dict[int, bool] = {}
+    leaves: List[CellDefinition] = []
+
+    def walk(definition: CellDefinition) -> None:
+        if id(definition) in seen:
+            return
+        seen[id(definition)] = True
+        if definition.boxes and not definition.instances:
+            leaves.append(definition)
+            return
+        for instance in definition.instances:
+            walk(instance.definition)
+
+    walk(cell)
+    return leaves
+
+
+@dataclass
+class PipelineReport:
+    """What a :class:`HierarchicalCompactor` run did, in numbers."""
+
+    distinct_cells: int = 0
+    unique_contents: int = 0
+    instance_count: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    jobs: int = 1
+    results: Dict[str, CompactionResult] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One printable line for the CLI."""
+        return (
+            f"hierarchical compaction: {self.distinct_cells} distinct leaf"
+            f" cell(s) ({self.unique_contents} unique) over"
+            f" {self.instance_count} instance(s), jobs={self.jobs},"
+            f" {self.cache_hits} cache hit(s), {self.cache_misses} miss(es)"
+        )
+
+
+class HierarchicalCompactor:
+    """Compact each distinct leaf cell once, then re-stamp every instance.
+
+    The flat compactor (:func:`~repro.compact.flat.compact_cell`)
+    flattens the whole hierarchy and solves one giant system —
+    instance-proportional work.  This driver exploits the leaf-cell
+    property instead (all instances of a cell share one geometry, paper
+    section 6.1): leaves are compacted independently — deduplicated by
+    content, optionally cached and in parallel — and the hierarchy is
+    rebuilt with instances stamped at their original placements, so the
+    expensive work is O(distinct cells) and the rebuild is
+    O(instances).  Leaf ports and labels are carried over verbatim;
+    composite cells keep their own geometry untouched.  Placements are
+    *not* re-spaced: this is per-leaf compaction under the original
+    pitches, not a substitute for flat compaction of the assembly.
+    """
+
+    def __init__(
+        self,
+        rules: DesignRules,
+        axes: str = "x",
+        width_mode: str = "preserve",
+        solver: Optional[str] = None,
+        jobs: int = 1,
+        cache: Optional[CompactionCache] = None,
+    ) -> None:
+        """``axes`` is a sequence of flat-compaction pass letters applied
+        to each leaf (``"x"``, ``"y"``, ``"xy"``, ``"yx"``); ``jobs``
+        and ``cache`` configure the fan-out of :func:`compact_cells`."""
+        if not axes or any(axis not in "xy" for axis in axes):
+            raise ValueError(f"axes must combine 'x' and 'y', not {axes!r}")
+        self.rules = rules
+        self.axes = axes
+        self.width_mode = width_mode
+        self.solver = solver
+        self.jobs = jobs
+        self.cache = cache
+        self.last_report: Optional[PipelineReport] = None
+
+    def compact(self, cell: CellDefinition) -> CellDefinition:
+        """Return a rebuilt ``cell`` with every distinct leaf compacted.
+
+        Leaves with identical content share one compaction (and one
+        cache entry); the rebuilt hierarchy re-stamps each instance at
+        its original location/orientation.  ``last_report`` records the
+        run's statistics.
+        """
+        leaves = distinct_leaf_cells(cell)
+        report = PipelineReport(
+            distinct_cells=len(leaves),
+            instance_count=cell.count_instances(recursive=True),
+            jobs=self.jobs,
+        )
+        hits_before = self.cache.hits if self.cache is not None else 0
+        misses_before = self.cache.misses if self.cache is not None else 0
+
+        # Deduplicate by content so a run compacts each unique geometry
+        # exactly once even without a cache.
+        by_content: Dict[str, List[CellDefinition]] = {}
+        for leaf in leaves:
+            by_content.setdefault(fingerprint_cell(leaf), []).append(leaf)
+        representatives = [(group[0].name, group[0]) for group in by_content.values()]
+        report.unique_contents = len(representatives)
+
+        compacted_list = compact_cells(
+            representatives,
+            self.rules,
+            jobs=self.jobs,
+            cache=self.cache,
+            axes=self.axes,
+            width_mode=self.width_mode,
+            solver=self.solver,
+        )
+        replacement: Dict[int, CellDefinition] = {}
+        for (fingerprint, group), (_, compacted, result) in zip(
+            by_content.items(), compacted_list
+        ):
+            for leaf in group:
+                rebuilt = CellDefinition(leaf.name)
+                for layer_box in compacted.boxes:
+                    box = layer_box.box
+                    rebuilt.add_box(layer_box.layer, box.xmin, box.ymin, box.xmax, box.ymax)
+                for port in leaf.ports:
+                    rebuilt.add_port(port.name, port.position.x, port.position.y, port.layer)
+                for label in leaf.labels:
+                    rebuilt.add_label(label.text, label.position.x, label.position.y)
+                replacement[id(leaf)] = rebuilt
+                # Distinct-content leaves can share a name; suffix the
+                # report key rather than overwrite the first result.
+                existing = report.results.get(leaf.name)
+                if existing is None or existing is result:
+                    report.results[leaf.name] = result
+                else:
+                    suffix = 2
+                    while f"{leaf.name}#{suffix}" in report.results:
+                        suffix += 1
+                    report.results[f"{leaf.name}#{suffix}"] = result
+
+        rebuilt_memo: Dict[int, CellDefinition] = {}
+
+        def rebuild(definition: CellDefinition) -> CellDefinition:
+            known = rebuilt_memo.get(id(definition))
+            if known is not None:
+                return known
+            leaf = replacement.get(id(definition))
+            if leaf is not None:
+                rebuilt_memo[id(definition)] = leaf
+                return leaf
+            duplicate = CellDefinition(definition.name)
+            rebuilt_memo[id(definition)] = duplicate
+            for layer_box in definition.boxes:
+                box = layer_box.box
+                duplicate.add_box(layer_box.layer, box.xmin, box.ymin, box.xmax, box.ymax)
+            for port in definition.ports:
+                duplicate.add_port(port.name, port.position.x, port.position.y, port.layer)
+            for label in definition.labels:
+                duplicate.add_label(label.text, label.position.x, label.position.y)
+            for instance in definition.instances:
+                duplicate.add_instance(
+                    rebuild(instance.definition),
+                    instance.location,
+                    instance.orientation,
+                    instance.name,
+                )
+            return duplicate
+
+        result = rebuild(cell)
+        if self.cache is not None:
+            report.cache_hits = self.cache.hits - hits_before
+            report.cache_misses = self.cache.misses - misses_before
+        self.last_report = report
+        return result

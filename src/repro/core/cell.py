@@ -5,6 +5,20 @@ in a local coordinate system — boxes of various layers, points (we call
 them ports, and give them names so netlists can reference them), and
 instances of other cells.  An instance is the triplet
 ``(point of call, orientation, cell definition)``.
+
+Flattening and bounding boxes are *array-aware*: a definition's fully
+flattened geometry is computed once per orientation it is used in and
+then every instance is stamped by an integer translation, so an n-cell
+array of one leaf pays O(distinct cells) transform work plus O(n)
+translations instead of O(n) recursive transform compositions.  The
+memos invalidate through mutation stamps: every ``add_box`` /
+``add_instance`` / ``adopt`` / ``place`` (or direct assignment to an
+instance's ``location``/``orientation``) bumps the owning definition's
+stamp, and a cached value is reused only while the maximum stamp over
+the definition's subtree is unchanged.  The pre-memo recursive walkers
+are retained as ``*_reference`` equivalence oracles, mirroring the sweep
+kernel's pattern.  Mutations must go through this API — appending to
+``boxes``/``instances`` directly bypasses invalidation.
 """
 
 from __future__ import annotations
@@ -100,9 +114,17 @@ class Instance:
     The location/orientation may be unset (``None``) while the instance is
     still a *partial instance* inside a connectivity graph; ``mk_cell``
     fills them in during graph expansion (paper section 4.4.3).
+
+    ``owners`` lists every :class:`CellDefinition` whose instance list
+    holds this instance (maintained by ``add_instance``/``adopt``; an
+    instance shared by several cells — e.g. a ``mk_cell(replace=True)``
+    re-expansion while the old cell object survives in a parent — lists
+    them all).  Assigning ``definition``/``location``/``orientation`` —
+    including through ``place`` — bumps every owner's mutation stamp so
+    each one's cached bounding box and flatten memos invalidate.
     """
 
-    __slots__ = ("definition", "location", "orientation", "name")
+    __slots__ = ("_definition", "_location", "_orientation", "name", "owners")
 
     def __init__(
         self,
@@ -111,10 +133,42 @@ class Instance:
         orientation: Optional[Orientation] = None,
         name: str = "",
     ) -> None:
-        self.definition = definition
-        self.location = location
-        self.orientation = orientation
+        self._definition = definition
+        self._location = location
+        self._orientation = orientation
         self.name = name
+        self.owners: Tuple["CellDefinition", ...] = ()
+
+    def _touch_owners(self) -> None:
+        for owner in self.owners:
+            owner._touch()
+
+    @property
+    def definition(self) -> "CellDefinition":
+        return self._definition
+
+    @definition.setter
+    def definition(self, value: "CellDefinition") -> None:
+        self._definition = value
+        self._touch_owners()
+
+    @property
+    def location(self) -> Optional[Vec2]:
+        return self._location
+
+    @location.setter
+    def location(self, value: Optional[Vec2]) -> None:
+        self._location = value
+        self._touch_owners()
+
+    @property
+    def orientation(self) -> Optional[Orientation]:
+        return self._orientation
+
+    @orientation.setter
+    def orientation(self, value: Optional[Orientation]) -> None:
+        self._orientation = value
+        self._touch_owners()
 
     @property
     def celltype(self) -> str:
@@ -122,17 +176,18 @@ class Instance:
 
     @property
     def is_placed(self) -> bool:
-        return self.location is not None and self.orientation is not None
+        return self._location is not None and self._orientation is not None
 
     def place(self, location: Vec2, orientation: Orientation) -> None:
-        self.location = location
-        self.orientation = orientation
+        self._location = location
+        self._orientation = orientation
+        self._touch_owners()
 
     @property
     def transform(self) -> Transform:
         if not self.is_placed:
             raise ValueError(f"instance of {self.celltype!r} is not placed")
-        return Transform(self.location, self.orientation)
+        return Transform(self._location, self._orientation)
 
     def bounding_box(self) -> Optional[Box]:
         inner = self.definition.bounding_box()
@@ -150,12 +205,79 @@ class Instance:
 class CellDefinition:
     """A named cell: a list of boxes, ports, labels, and sub-instances."""
 
+    #: Process-wide mutation counter.  Bumped by every geometry mutation
+    #: anywhere; subtree-stamp memos are validated against it so an
+    #: unchanged counter means every cached value is still good without
+    #: walking anything.
+    _mutation_counter: int = 0
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.boxes: List[LayerBox] = []
         self.ports: List[Port] = []
         self.labels: List[Label] = []
         self.instances: List[Instance] = []
+        self._stamp = self._next_stamp()
+        # (counter at computation, max stamp over subtree)
+        self._subtree_memo: Tuple[int, int] = (-1, 0)
+        # (subtree stamp, bbox) — None until first query
+        self._bbox_memo: Optional[Tuple[int, Optional[Box]]] = None
+        # orientation -> (subtree stamp, flattened tuple)
+        self._flat_memo: Dict[Orientation, Tuple[int, Tuple[LayerBox, ...]]] = {}
+        self._port_memo: Dict[Orientation, Tuple[int, Tuple[Port, ...]]] = {}
+        self._label_memo: Dict[Orientation, Tuple[int, Tuple[Label, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation stamps (memo invalidation)
+    # ------------------------------------------------------------------
+    @classmethod
+    def _next_stamp(cls) -> int:
+        CellDefinition._mutation_counter += 1
+        return CellDefinition._mutation_counter
+
+    def _touch(self) -> None:
+        """Record a mutation of this definition's own geometry."""
+        self._stamp = self._next_stamp()
+
+    def subtree_stamp(self) -> int:
+        """Maximum mutation stamp over this definition and its subtree.
+
+        O(1) while the process-wide mutation counter is unchanged; after
+        a mutation anywhere, the next query revalidates with one walk
+        over the definition DAG (memoized per counter value, so shared
+        sub-definitions are visited once).
+        """
+        counter = CellDefinition._mutation_counter
+        cached_at, value = self._subtree_memo
+        if cached_at == counter:
+            return value
+        value = self._stamp
+        for instance in self.instances:
+            child = instance.definition.subtree_stamp()
+            if child > value:
+                value = child
+        self._subtree_memo = (counter, value)
+        return value
+
+    def __getstate__(self):
+        """Drop memo caches from pickles (workers rebuild them lazily)."""
+        state = self.__dict__.copy()
+        state["_subtree_memo"] = (-1, 0)
+        state["_bbox_memo"] = None
+        state["_flat_memo"] = {}
+        state["_port_memo"] = {}
+        state["_label_memo"] = {}
+        return state
+
+    def __setstate__(self, state) -> None:
+        """Re-stamp against the live process counter after unpickling.
+
+        Pickled stamps came from another process's counter; keeping them
+        could leave a stale stamp above the local counter and defeat
+        invalidation, so every unpickled definition gets a fresh stamp.
+        """
+        self.__dict__.update(state)
+        self._stamp = self._next_stamp()
 
     # ------------------------------------------------------------------
     # Construction
@@ -163,16 +285,19 @@ class CellDefinition:
     def add_box(self, layer: str, xmin: int, ymin: int, xmax: int, ymax: int) -> LayerBox:
         item = LayerBox(layer, Box(xmin, ymin, xmax, ymax))
         self.boxes.append(item)
+        self._touch()
         return item
 
     def add_port(self, name: str, x: int, y: int, layer: str = "") -> Port:
         port = Port(name, Vec2(x, y), layer)
         self.ports.append(port)
+        self._touch()
         return port
 
     def add_label(self, text: str, x: int, y: int) -> Label:
         label = Label(text, Vec2(x, y))
         self.labels.append(label)
+        self._touch()
         return label
 
     def add_instance(
@@ -184,8 +309,20 @@ class CellDefinition:
     ) -> Instance:
         if orientation is None and location is not None:
             orientation = NORTH
-        instance = Instance(definition, location, orientation, name)
+        return self.adopt(Instance(definition, location, orientation, name))
+
+    def adopt(self, instance: Instance) -> Instance:
+        """Append an existing :class:`Instance` (graph expansion path).
+
+        Adds this definition to the instance's ``owners`` backlinks so
+        later placement changes invalidate this definition's caches —
+        *alongside* any previous owner, which keeps tracking too — and
+        bumps the mutation stamp for the append itself.
+        """
+        if all(owner is not self for owner in instance.owners):
+            instance.owners = instance.owners + (self,)
         self.instances.append(instance)
+        self._touch()
         return instance
 
     # ------------------------------------------------------------------
@@ -198,7 +335,16 @@ class CellDefinition:
         raise KeyError(f"cell {self.name!r} has no port {name!r}")
 
     def bounding_box(self) -> Optional[Box]:
-        """Bounding box over own geometry and placed sub-instances."""
+        """Bounding box over own geometry and placed sub-instances.
+
+        Cached per definition and invalidated by the subtree stamp, so
+        the hot callers (``compose()``, routing, rendering) pay the
+        hierarchical walk once instead of on every query.
+        """
+        stamp = self.subtree_stamp()
+        memo = self._bbox_memo
+        if memo is not None and memo[0] == stamp:
+            return memo[1]
         result: Optional[Box] = None
         for layer_box in self.boxes:
             result = layer_box.box if result is None else result.union(layer_box.box)
@@ -208,19 +354,181 @@ class CellDefinition:
             sub = instance.bounding_box()
             if sub is not None:
                 result = sub if result is None else result.union(sub)
+        self._bbox_memo = (stamp, result)
+        return result
+
+    def bounding_box_reference(self) -> Optional[Box]:
+        """Uncached recursive bounding box (equivalence oracle)."""
+        result: Optional[Box] = None
+        for layer_box in self.boxes:
+            result = layer_box.box if result is None else result.union(layer_box.box)
+        for instance in self.instances:
+            if not instance.is_placed:
+                continue
+            sub = instance.definition.bounding_box_reference()
+            if sub is not None:
+                sub = instance.transform.apply_box(sub)
+                result = sub if result is None else result.union(sub)
+        return result
+
+    # ------------------------------------------------------------------
+    # Flattening (memoized stamping) and the reference walkers
+    # ------------------------------------------------------------------
+    def _flat_boxes(self, orientation: Orientation) -> Tuple[LayerBox, ...]:
+        """Fully flattened boxes of this definition under ``orientation``.
+
+        Equal to ``flatten(Transform(Vec2(0, 0), orientation))``; built
+        once per (definition, orientation) and reused until the subtree
+        mutates.  Sub-instances are stamped by translating the child's
+        own memoized flat list — the orientation math happens once per
+        distinct (child, composed orientation), not once per box per
+        instance.
+        """
+        stamp = self.subtree_stamp()
+        memo = self._flat_memo.get(orientation)
+        if memo is not None and memo[0] == stamp:
+            return memo[1]
+        items: List[LayerBox] = []
+        for layer_box in self.boxes:
+            items.append(
+                LayerBox(layer_box.layer, layer_box.box.transformed(orientation))
+            )
+        for instance in self.instances:
+            if not instance.is_placed:
+                continue
+            child_orientation = orientation.compose(instance.orientation)
+            offset = instance.location.transformed(orientation)
+            for item in instance.definition._flat_boxes(child_orientation):
+                items.append(LayerBox(item.layer, item.box.translated(offset)))
+        result = tuple(items)
+        self._flat_memo[orientation] = (stamp, result)
+        return result
+
+    def _flat_ports(self, orientation: Orientation) -> Tuple[Port, ...]:
+        """Memoized flattened ports with subtree-relative ``inst/...`` names."""
+        stamp = self.subtree_stamp()
+        memo = self._port_memo.get(orientation)
+        if memo is not None and memo[0] == stamp:
+            return memo[1]
+        items: List[Port] = []
+        for port in self.ports:
+            items.append(
+                Port(port.name, port.position.transformed(orientation), port.layer)
+            )
+        for index, instance in enumerate(self.instances):
+            if not instance.is_placed:
+                continue
+            tag = instance.name or f"{instance.celltype}#{index}"
+            child_orientation = orientation.compose(instance.orientation)
+            offset = instance.location.transformed(orientation)
+            for item in instance.definition._flat_ports(child_orientation):
+                items.append(
+                    Port(f"{tag}/{item.name}", item.position + offset, item.layer)
+                )
+        result = tuple(items)
+        self._port_memo[orientation] = (stamp, result)
+        return result
+
+    def _flat_labels(self, orientation: Orientation) -> Tuple[Label, ...]:
+        """Memoized flattened labels under ``orientation``."""
+        stamp = self.subtree_stamp()
+        memo = self._label_memo.get(orientation)
+        if memo is not None and memo[0] == stamp:
+            return memo[1]
+        items: List[Label] = []
+        for label in self.labels:
+            items.append(Label(label.text, label.position.transformed(orientation)))
+        for instance in self.instances:
+            if not instance.is_placed:
+                continue
+            child_orientation = orientation.compose(instance.orientation)
+            offset = instance.location.transformed(orientation)
+            for item in instance.definition._flat_labels(child_orientation):
+                items.append(Label(item.text, item.position + offset))
+        result = tuple(items)
+        self._label_memo[orientation] = (stamp, result)
         return result
 
     def flatten(self, transform: Transform = Transform()) -> Iterator[LayerBox]:
-        """Yield every mask box with hierarchy fully expanded."""
+        """Yield every mask box with hierarchy fully expanded.
+
+        Streams at the queried root — own boxes transformed directly,
+        each instance stamped by translating its definition's memoized
+        flat list — so the root's full flattening is never *retained*,
+        only the per-definition memos below it (which hierarchical
+        reuse keeps small: one entry per distinct definition and
+        orientation, however many times it is stamped).
+        """
+        orientation = transform.orientation
+        offset = transform.offset
+        for layer_box in self.boxes:
+            yield LayerBox(layer_box.layer, layer_box.box.transformed(orientation, offset))
+        for instance in self.instances:
+            if not instance.is_placed:
+                continue
+            child_orientation = orientation.compose(instance.orientation)
+            child_offset = instance.location.transformed(orientation) + offset
+            for item in instance.definition._flat_boxes(child_orientation):
+                yield LayerBox(item.layer, item.box.translated(child_offset))
+
+    def flatten_ports(self, transform: Transform = Transform(), prefix: str = "") -> Iterator[Port]:
+        """Yield ports with hierarchical names ``inst/.../port``."""
+        orientation = transform.orientation
+        offset = transform.offset
+        for port in self.ports:
+            yield Port(
+                prefix + port.name,
+                port.position.transformed(orientation) + offset,
+                port.layer,
+            )
+        for index, instance in enumerate(self.instances):
+            if not instance.is_placed:
+                continue
+            tag = instance.name or f"{instance.celltype}#{index}"
+            child_orientation = orientation.compose(instance.orientation)
+            child_offset = instance.location.transformed(orientation) + offset
+            for item in instance.definition._flat_ports(child_orientation):
+                yield Port(
+                    f"{prefix}{tag}/{item.name}",
+                    item.position + child_offset,
+                    item.layer,
+                )
+
+    def flatten_labels(self, transform: Transform = Transform()) -> Iterator[Label]:
+        """Yield every label with hierarchy fully expanded."""
+        orientation = transform.orientation
+        offset = transform.offset
+        for label in self.labels:
+            yield Label(label.text, label.position.transformed(orientation) + offset)
+        for instance in self.instances:
+            if not instance.is_placed:
+                continue
+            child_orientation = orientation.compose(instance.orientation)
+            child_offset = instance.location.transformed(orientation) + offset
+            for item in instance.definition._flat_labels(child_orientation):
+                yield Label(item.text, item.position + child_offset)
+
+    def flatten_reference(self, transform: Transform = Transform()) -> Iterator[LayerBox]:
+        """The pre-memo recursive flatten, retained as an oracle.
+
+        Composes a :class:`Transform` per instance and applies it to
+        every box of the subtree — instance-proportional transform work,
+        but straight-line enough to trust.  Must yield the identical box
+        sequence to :meth:`flatten` on any input.
+        """
         for layer_box in self.boxes:
             yield layer_box.transformed(transform)
         for instance in self.instances:
             if not instance.is_placed:
                 continue
-            yield from instance.definition.flatten(transform.compose(instance.transform))
+            yield from instance.definition.flatten_reference(
+                transform.compose(instance.transform)
+            )
 
-    def flatten_ports(self, transform: Transform = Transform(), prefix: str = "") -> Iterator[Port]:
-        """Yield ports with hierarchical names ``inst/.../port``."""
+    def flatten_ports_reference(
+        self, transform: Transform = Transform(), prefix: str = ""
+    ) -> Iterator[Port]:
+        """The pre-memo recursive port walker (equivalence oracle)."""
         for port in self.ports:
             item = port.transformed(transform)
             item.name = prefix + port.name
@@ -229,18 +537,18 @@ class CellDefinition:
             if not instance.is_placed:
                 continue
             tag = instance.name or f"{instance.celltype}#{index}"
-            yield from instance.definition.flatten_ports(
+            yield from instance.definition.flatten_ports_reference(
                 transform.compose(instance.transform), prefix=f"{prefix}{tag}/"
             )
 
-    def flatten_labels(self, transform: Transform = Transform()) -> Iterator[Label]:
-        """Yield every label with hierarchy fully expanded."""
+    def flatten_labels_reference(self, transform: Transform = Transform()) -> Iterator[Label]:
+        """The pre-memo recursive label walker (equivalence oracle)."""
         for label in self.labels:
             yield label.transformed(transform)
         for instance in self.instances:
             if not instance.is_placed:
                 continue
-            yield from instance.definition.flatten_labels(
+            yield from instance.definition.flatten_labels_reference(
                 transform.compose(instance.transform)
             )
 

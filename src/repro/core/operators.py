@@ -79,7 +79,9 @@ class Rsg:
         order = expand_graph(root, self.interfaces, root_location, root_orientation)
         cell = self.cells.new_cell(name, replace=replace)
         for node in order:
-            cell.instances.append(node.instance)
+            # adopt (not a raw append) so the new cell's geometry caches
+            # invalidate if a node's instance is ever re-placed later.
+            cell.adopt(node.instance)
         return cell
 
     # ------------------------------------------------------------------

@@ -70,6 +70,15 @@ class Vec2:
     def __hash__(self) -> int:
         return hash((self.x, self.y))
 
+    def __reduce__(self):
+        return (Vec2, (self.x, self.y))
+
+    def __copy__(self):
+        return self
+
+    def __deepcopy__(self, memo):
+        return self
+
     def __repr__(self) -> str:
         return f"Vec2({self.x}, {self.y})"
 

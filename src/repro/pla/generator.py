@@ -13,7 +13,10 @@ the scope of a given sample.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..compact.pipeline import HierarchicalCompactor
 
 from ..core.cell import CellDefinition
 from ..core.graph import Node
@@ -59,8 +62,16 @@ def generate_pla(
     table: TruthTable,
     rsg: Optional[Rsg] = None,
     name: str = "pla",
+    compactor: Optional["HierarchicalCompactor"] = None,
 ) -> CellDefinition:
-    """Generate a complete PLA layout for ``table``."""
+    """Generate a complete PLA layout for ``table``.
+
+    ``compactor`` (a
+    :class:`~repro.compact.pipeline.HierarchicalCompactor`) compacts
+    each distinct plane/crosspoint cell exactly once — cached and
+    optionally in parallel — and re-stamps every instance; the
+    compacted cell replaces ``name`` in the workspace.
+    """
     if rsg is None:
         rsg = load_pla_library()
     pulls: List[Node] = []
@@ -78,19 +89,26 @@ def generate_pla(
             rsg.connect(square, rsg.mk_instance("inbuf"), 1)
         else:
             rsg.connect(square, rsg.mk_instance("outbuf"), 1)
-    return rsg.mk_cell(name, pulls[0])
+    cell = rsg.mk_cell(name, pulls[0])
+    if compactor is not None:
+        cell = compactor.compact(cell)
+        rsg.cells.define(cell, replace=True)
+    return cell
 
 
 def generate_decoder(
     n: int,
     rsg: Optional[Rsg] = None,
     name: str = "decoder",
+    compactor: Optional["HierarchicalCompactor"] = None,
 ) -> CellDefinition:
     """An n-to-2^n decoder from the *same* PLA sample cells.
 
     A decoder is an AND plane whose product terms are all minterms, with
     output buffers directly on the AND columns — "decoders can be built
     from an AND plane with appropriate output buffers" (section 1.2.2).
+    ``compactor`` applies the compact-once/stamp-many pass, as in
+    :func:`generate_pla`.
     """
     if rsg is None:
         rsg = load_pla_library()
@@ -120,7 +138,11 @@ def generate_decoder(
         pulls.append(pull)
     for square in bottom:
         rsg.connect(square, rsg.mk_instance("inbuf"), 1)
-    return rsg.mk_cell(name, pulls[0])
+    cell = rsg.mk_cell(name, pulls[0])
+    if compactor is not None:
+        cell = compactor.compact(cell)
+        rsg.cells.define(cell, replace=True)
+    return cell
 
 
 def extract_personality(cell: CellDefinition) -> TruthTable:

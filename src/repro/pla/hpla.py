@@ -17,7 +17,10 @@ and no interface inheritance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..compact.pipeline import HierarchicalCompactor
 
 from ..core.cell import CellDefinition
 from ..core.operators import Rsg
@@ -87,8 +90,18 @@ def compile_description(rsg: Optional[Rsg] = None) -> HplaDescription:
 class HplaGenerator:
     """The three-phase HPLA flow on a compiled description file."""
 
-    def __init__(self, description: Optional[HplaDescription] = None) -> None:
+    def __init__(
+        self,
+        description: Optional[HplaDescription] = None,
+        compactor: Optional["HierarchicalCompactor"] = None,
+    ) -> None:
+        """``compactor`` (a
+        :class:`~repro.compact.pipeline.HierarchicalCompactor`) is
+        applied by :meth:`generate` — even the flat relocation scheme
+        benefits, since its skeleton stamps the same handful of
+        description cells at every grid position."""
         self.description = description if description else compile_description()
+        self.compactor = compactor
 
     # ------------------------------------------------------------------
     # Phase 1: skeleton (sized but unencoded PLA)
@@ -177,4 +190,7 @@ class HplaGenerator:
         skeleton = self.make_skeleton(
             table.num_inputs, table.num_outputs, table.num_terms, name=name
         )
-        return self.encode(skeleton, table)
+        cell = self.encode(skeleton, table)
+        if self.compactor is not None:
+            cell = self.compactor.compact(cell)
+        return cell

@@ -9,7 +9,10 @@ multipliers").
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..compact.pipeline import HierarchicalCompactor
 
 from ..core.cell import CellDefinition
 from ..core.operators import Rsg
@@ -50,12 +53,17 @@ def generate_rom(
     data_bits: int,
     rsg: Optional[Rsg] = None,
     name: str = "rom",
+    compactor: Optional["HierarchicalCompactor"] = None,
 ) -> Tuple[CellDefinition, TruthTable]:
-    """Generate a ROM layout storing ``words``; returns (cell, table)."""
+    """Generate a ROM layout storing ``words``; returns (cell, table).
+
+    ``compactor`` threads through to :func:`generate_pla` — distinct
+    plane cells are compacted once and stamped everywhere.
+    """
     if rsg is None:
         rsg = load_pla_library()
     table = rom_table(words, data_bits)
-    return generate_pla(table, rsg=rsg, name=name), table
+    return generate_pla(table, rsg=rsg, name=name, compactor=compactor), table
 
 
 def read_rom_back(cell: CellDefinition, word_count: int, data_bits: int) -> List[int]:

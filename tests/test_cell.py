@@ -83,6 +83,102 @@ class TestFlatten:
         assert top.count_instances(recursive=True) == 6
 
 
+class TestBoundingBoxCache:
+    """The cached bbox must invalidate on every mutation path."""
+
+    def test_repeated_queries_are_stable(self):
+        cell = make_leaf()
+        assert cell.bounding_box() == cell.bounding_box()
+        assert cell.bounding_box() == cell.bounding_box_reference()
+
+    def test_invalidates_after_add_box(self):
+        cell = make_leaf()
+        assert cell.bounding_box() == Box(0, 0, 10, 8)
+        cell.add_box("metal", -5, -5, 0, 0)
+        assert cell.bounding_box() == Box(-5, -5, 10, 8)
+        assert cell.bounding_box() == cell.bounding_box_reference()
+
+    def test_invalidates_after_add_instance(self):
+        leaf = make_leaf()
+        parent = CellDefinition("parent")
+        parent.add_instance(leaf, Vec2(0, 0), NORTH)
+        assert parent.bounding_box() == Box(0, 0, 10, 8)
+        parent.add_instance(leaf, Vec2(100, 0), NORTH)
+        assert parent.bounding_box() == Box(0, 0, 110, 8)
+        assert parent.bounding_box() == parent.bounding_box_reference()
+
+    def test_invalidates_after_place(self):
+        leaf = make_leaf()
+        parent = CellDefinition("parent")
+        instance = parent.add_instance(leaf)  # partial instance
+        assert parent.bounding_box() is None
+        instance.place(Vec2(50, 0), NORTH)
+        assert parent.bounding_box() == Box(50, 0, 60, 8)
+        assert parent.bounding_box() == parent.bounding_box_reference()
+
+    def test_invalidates_after_location_assignment(self):
+        leaf = make_leaf()
+        parent = CellDefinition("parent")
+        instance = parent.add_instance(leaf, Vec2(0, 0), NORTH)
+        parent.bounding_box()
+        instance.location = Vec2(30, 0)
+        assert parent.bounding_box() == Box(30, 0, 40, 8)
+
+    def test_invalidates_after_definition_swap(self):
+        leaf = make_leaf()
+        bigger = CellDefinition("bigger")
+        bigger.add_box("metal", 0, 0, 100, 80)
+        parent = CellDefinition("parent")
+        instance = parent.add_instance(leaf, Vec2(0, 0), NORTH)
+        assert parent.bounding_box() == Box(0, 0, 10, 8)
+        instance.definition = bigger
+        assert parent.bounding_box() == Box(0, 0, 100, 80)
+        assert parent.bounding_box() == parent.bounding_box_reference()
+        assert list(parent.flatten()) == list(parent.flatten_reference())
+
+    def test_invalidates_through_shared_child_mutation(self):
+        leaf = make_leaf()
+        parent = CellDefinition("parent")
+        parent.add_instance(leaf, Vec2(0, 0), NORTH)
+        grandparent = CellDefinition("grandparent")
+        grandparent.add_instance(parent, Vec2(0, 0), NORTH)
+        assert grandparent.bounding_box() == Box(0, 0, 10, 8)
+        leaf.add_box("metal", 0, 0, 40, 2)
+        assert grandparent.bounding_box() == Box(0, 0, 40, 8)
+
+    def test_shared_instance_invalidates_every_owner(self):
+        """adopt() must not steal tracking from a previous owner: a
+        later placement change invalidates both cells' caches."""
+        leaf = make_leaf()
+        first = CellDefinition("first")
+        instance = first.add_instance(leaf, Vec2(0, 0), NORTH)
+        second = CellDefinition("second")
+        second.adopt(instance)
+        assert first.bounding_box() == Box(0, 0, 10, 8)
+        assert second.bounding_box() == Box(0, 0, 10, 8)
+        instance.location = Vec2(100, 0)
+        assert first.bounding_box() == Box(100, 0, 110, 8)
+        assert first.bounding_box() == first.bounding_box_reference()
+        assert second.bounding_box() == Box(100, 0, 110, 8)
+
+    def test_graph_expansion_adopts_instances(self):
+        """mk_cell goes through adopt(): re-placing a node's instance
+        afterwards must invalidate the owning cell's bbox."""
+        from repro.core import Rsg
+        from repro.core.interface import Interface
+
+        rsg = Rsg()
+        cell = rsg.define_cell("unit")
+        cell.add_box("metal", 0, 0, 4, 4)
+        rsg.interfaces.declare("unit", "unit", 1, Interface(Vec2(10, 0), NORTH))
+        a = rsg.mk_instance("unit")
+        rsg.connect(a, rsg.mk_instance("unit"), 1)
+        built = rsg.mk_cell("pair", a)
+        assert built.bounding_box() == Box(0, 0, 14, 4)
+        built.instances[1].location = Vec2(20, 0)
+        assert built.bounding_box() == Box(0, 0, 24, 4)
+
+
 class TestInstance:
     def test_partial_instance(self):
         instance = Instance(make_leaf())

@@ -133,6 +133,94 @@ class TestCompactFlags:
             run_flow(str(parameter), compact_axes="z")
 
 
+class TestHierarchicalFlags:
+    def test_hier_mode_prints_report(self, flow_files, capsys):
+        parameter, output = flow_files
+        assert main([str(parameter), "--compact", "hier"]) == 0
+        out = capsys.readouterr().out
+        assert "hierarchical compaction:" in out
+        assert "distinct leaf cell(s)" in out
+        assert output.exists()
+
+    def test_hier_axes_variant_runs_both_passes(self, flow_files, capsys):
+        """hier:xy compacts each leaf in x then y; output still writes."""
+        parameter, output = flow_files
+        assert main([str(parameter), "--compact", "hier:xy"]) == 0
+        assert "hierarchical compaction:" in capsys.readouterr().out
+        xy_bytes = output.read_bytes()
+        assert main([str(parameter), "--compact", "hier"]) == 0
+        assert output.read_bytes() != xy_bytes  # the y pass did something
+
+    def test_bad_hier_axes_via_run_flow(self, flow_files):
+        parameter, _ = flow_files
+        with pytest.raises(RsgError, match="hier"):
+            run_flow(str(parameter), compact_axes="hier:z")
+
+    def test_jobs2_output_byte_identical_to_serial(self, flow_files):
+        """The acceptance smoke: --jobs 2 CIF == --jobs 1 CIF, byte for byte."""
+        parameter, output = flow_files
+        assert main([str(parameter), "--compact", "hier", "--jobs", "1"]) == 0
+        serial = output.read_bytes()
+        assert main([str(parameter), "--compact", "hier", "--jobs", "2"]) == 0
+        assert output.read_bytes() == serial
+
+    def test_cache_dir_hits_on_second_run(self, flow_files, tmp_path, capsys):
+        parameter, _ = flow_files
+        cache_dir = str(tmp_path / "rsgcache")
+        assert main(
+            [str(parameter), "--compact", "hier", "--cache-dir", cache_dir]
+        ) == 0
+        first = capsys.readouterr().out
+        assert " miss(es)" in first
+        assert main(
+            [str(parameter), "--compact", "hier", "--cache-dir", cache_dir]
+        ) == 0
+        second = capsys.readouterr().out
+        assert ", 0 miss(es)" in second  # leading boundary: "10 miss(es)" must fail
+        assert "from disk" in second
+
+    def test_cache_dir_with_flat_compaction(self, flow_files, tmp_path, capsys):
+        parameter, _ = flow_files
+        cache_dir = str(tmp_path / "flatcache")
+        assert main(
+            [str(parameter), "--compact", "x", "--cache-dir", cache_dir]
+        ) == 0
+        assert main(
+            [str(parameter), "--compact", "x", "--cache-dir", cache_dir]
+        ) == 0
+        assert "1 hits (1 from disk)" in capsys.readouterr().out
+
+    def test_jobs_without_hier_rejected(self, flow_files, capsys):
+        parameter, _ = flow_files
+        with pytest.raises(SystemExit):
+            main([str(parameter), "--jobs", "2"])
+        assert "--compact hier" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main([str(parameter), "--compact", "x", "--jobs", "2"])
+
+    def test_bad_jobs_rejected(self, flow_files, capsys):
+        parameter, _ = flow_files
+        with pytest.raises(SystemExit):
+            main([str(parameter), "--compact", "hier", "--jobs", "0"])
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_cache_dir_without_compact_rejected(self, flow_files, capsys):
+        parameter, _ = flow_files
+        with pytest.raises(SystemExit):
+            main([str(parameter), "--cache-dir", "/tmp/nope"])
+        assert "--compact" in capsys.readouterr().err
+
+    def test_hier_geometry_matches_direct_pipeline(self, flow_files):
+        from repro.compact import TECH_A, HierarchicalCompactor
+        from repro.layout import flatten_cell
+
+        parameter, _ = flow_files
+        plain = run_flow(str(parameter))
+        via_cli = run_flow(str(parameter), compact_axes="hier")
+        oracle = HierarchicalCompactor(TECH_A).compact(plain)
+        assert flatten_cell(via_cli).same_geometry(flatten_cell(oracle))
+
+
 ROUTE_SAMPLE = """
 cell ctrl
   box metal1 0 0 60 20

@@ -1,0 +1,190 @@
+"""Equivalence of the memoized stamp-flatten and the reference walkers.
+
+The array-aware flatten (:class:`repro.core.cell.CellDefinition`)
+computes each definition's flattened geometry once per orientation and
+stamps instances by integer translation; the pre-memo recursive walkers
+are retained as ``flatten_reference`` / ``flatten_ports_reference`` /
+``flatten_labels_reference`` / ``bounding_box_reference``.  These
+property tests drive randomized hierarchies — random depth, shared
+sub-definitions, all eight orientations, unplaced instances, degenerate
+boxes — through both builds, under random outer transforms, and require
+*identical* results.  Mutation mid-stream (the memo-invalidation path)
+and the hierarchical compactor's stamped rebuild under both
+technologies are covered the same way.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.compact import TECH_A, TECH_B, HierarchicalCompactor
+from repro.core.cell import CellDefinition
+from repro.geometry import ALL_ORIENTATIONS, Box, Transform, Vec2
+
+LAYERS = ["diff", "poly", "metal1", "implant"]
+
+SEEDS = [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+def random_hierarchy(seed, depth=3, breadth=4):
+    """A randomized DAG of cells: shared leaves, all orientations."""
+    rng = random.Random(seed)
+    level = []
+    for index in range(3):
+        leaf = CellDefinition(f"leaf{index}")
+        for _ in range(rng.randrange(1, 6)):
+            x = rng.randrange(-20, 20)
+            y = rng.randrange(-20, 20)
+            leaf.add_box(
+                rng.choice(LAYERS), x, y, x + rng.randrange(0, 8), y + rng.randrange(0, 8)
+            )
+        leaf.add_port(f"p{index}", rng.randrange(-5, 5), rng.randrange(-5, 5), "metal1")
+        leaf.add_label(f"txt{index}", rng.randrange(-5, 5), rng.randrange(-5, 5))
+        level.append(leaf)
+    for tier in range(depth):
+        next_level = []
+        for index in range(2):
+            cell = CellDefinition(f"mid{tier}_{index}")
+            if rng.random() < 0.4:
+                x = rng.randrange(-30, 30)
+                cell.add_box(rng.choice(LAYERS), x, 0, x + 4, 6)
+            if rng.random() < 0.4:
+                cell.add_port(f"q{tier}{index}", 0, 0)
+            for position in range(breadth):
+                cell.add_instance(
+                    rng.choice(level),
+                    Vec2(rng.randrange(-100, 100), rng.randrange(-100, 100)),
+                    rng.choice(ALL_ORIENTATIONS),
+                    name=f"u{position}" if rng.random() < 0.5 else "",
+                )
+            if rng.random() < 0.3:
+                cell.add_instance(rng.choice(level))  # partial instance
+            next_level.append(cell)
+        level = next_level
+    top = CellDefinition("top")
+    for position in range(breadth):
+        top.add_instance(
+            rng.choice(level),
+            Vec2(rng.randrange(-200, 200), rng.randrange(-200, 200)),
+            rng.choice(ALL_ORIENTATIONS),
+            name=f"t{position}",
+        )
+    return top
+
+
+def random_transform(seed):
+    rng = random.Random(seed * 7919)
+    return Transform(
+        Vec2(rng.randrange(-50, 50), rng.randrange(-50, 50)),
+        rng.choice(ALL_ORIENTATIONS),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestFlattenEquivalence:
+    def test_boxes_identical_sequence(self, seed):
+        top = random_hierarchy(seed)
+        for transform in (Transform(), random_transform(seed)):
+            assert list(top.flatten(transform)) == list(
+                top.flatten_reference(transform)
+            )
+
+    def test_boxes_identical_under_every_orientation(self, seed):
+        top = random_hierarchy(seed)
+        for orientation in ALL_ORIENTATIONS:
+            transform = Transform(Vec2(seed, -seed), orientation)
+            assert Counter(top.flatten(transform)) == Counter(
+                top.flatten_reference(transform)
+            )
+
+    def test_ports_identical_names_and_positions(self, seed):
+        top = random_hierarchy(seed)
+        transform = random_transform(seed)
+        assert list(top.flatten_ports(transform, prefix="x/")) == list(
+            top.flatten_ports_reference(transform, prefix="x/")
+        )
+
+    def test_labels_identical(self, seed):
+        top = random_hierarchy(seed)
+        transform = random_transform(seed)
+        assert list(top.flatten_labels(transform)) == list(
+            top.flatten_labels_reference(transform)
+        )
+
+    def test_bounding_box_matches_reference(self, seed):
+        top = random_hierarchy(seed)
+        assert top.bounding_box() == top.bounding_box_reference()
+
+    def test_memo_survives_repeated_queries(self, seed):
+        top = random_hierarchy(seed)
+        first = list(top.flatten())
+        assert list(top.flatten()) == first
+        assert list(top.flatten()) == list(top.flatten_reference())
+
+    def test_mutation_between_queries_invalidates(self, seed):
+        """Flatten, mutate a shared leaf, flatten again: both must track."""
+        rng = random.Random(seed + 1000)
+        top = random_hierarchy(seed)
+        list(top.flatten())  # warm every memo
+        top.bounding_box()
+        # Find a leaf buried in the hierarchy and mutate it.
+        node = top
+        while node.instances:
+            node = rng.choice(node.instances).definition
+        node.add_box("metal1", 500, 500, 520, 520)
+        assert list(top.flatten()) == list(top.flatten_reference())
+        assert top.bounding_box() == top.bounding_box_reference()
+
+    def test_replacement_after_instance_move(self, seed):
+        """Re-placing an instance through the property setter tracks."""
+        top = random_hierarchy(seed)
+        list(top.flatten())
+        instance = top.instances[0]
+        instance.location = Vec2(999, -999)
+        assert list(top.flatten()) == list(top.flatten_reference())
+        assert top.bounding_box() == top.bounding_box_reference()
+
+
+@pytest.mark.parametrize("seed", SEEDS[:4])
+@pytest.mark.parametrize("rules", [TECH_A, TECH_B], ids=lambda r: r.name)
+def test_hierarchical_compactor_stamped_flatten_consistent(seed, rules):
+    """The stamped rebuild flattens identically via memo and reference."""
+    rng = random.Random(seed * 31)
+    leaves = []
+    for index in range(3):
+        leaf = CellDefinition(f"cell{index}")
+        for _ in range(6):
+            x = rng.randrange(0, 60, 2)
+            y = rng.randrange(0, 30, 2)
+            leaf.add_box(
+                rng.choice(["diff", "poly", "metal1"]),
+                x, y, x + rng.randrange(2, 8), y + rng.randrange(2, 8),
+            )
+        leaves.append(leaf)
+    top = CellDefinition("top")
+    for i in range(4):
+        for j in range(4):
+            top.add_instance(leaves[(i + j) % 3], Vec2(i * 90, j * 45))
+    compacted = HierarchicalCompactor(rules).compact(top)
+    assert list(compacted.flatten()) == list(compacted.flatten_reference())
+    assert compacted.bounding_box() == compacted.bounding_box_reference()
+    assert compacted.count_instances(recursive=True) == top.count_instances(
+        recursive=True
+    )
+
+
+def test_flatten_matches_known_transform_composition():
+    """Pin the stamp math to the classical composed-transform semantics."""
+    leaf = CellDefinition("leaf")
+    leaf.add_box("metal", 0, 0, 10, 4)
+    mid = CellDefinition("mid")
+    mid.add_instance(leaf, Vec2(20, 0), ALL_ORIENTATIONS[0])
+    top = CellDefinition("top")
+    top.add_instance(mid, Vec2(0, 100), ALL_ORIENTATIONS[2])  # SOUTH
+    expected = (
+        Box(0, 0, 10, 4)
+        .translated(Vec2(20, 0))
+        .transformed(ALL_ORIENTATIONS[2], Vec2(0, 100))
+    )
+    assert [item.box for item in top.flatten()] == [expected]

@@ -1,0 +1,339 @@
+"""Correctness of the compaction-result cache and the parallel fan-out.
+
+Covers the satellite checklist for the compact-once pipeline: a cache
+hit when the identical cell content comes back (even under a different
+name), a miss — with distinct results — when the rules, the solver
+backend or an interface constraint changes, an on-disk cache that
+round-trips and survives a fresh process, and byte-for-byte determinism
+of the parallel path against the serial oracle.
+"""
+
+import random
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.compact import (
+    TECH_A,
+    TECH_B,
+    CompactionCache,
+    HierarchicalCompactor,
+    LeafCellCompactor,
+    compact_cell,
+    compact_cells,
+    distinct_leaf_cells,
+    fingerprint_cell,
+    fingerprint_rules,
+)
+from repro.core import Rsg
+from repro.core.cell import CellDefinition
+from repro.geometry import NORTH, Vec2
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def make_leaf(name, seed=7, boxes=12):
+    rng = random.Random(seed)
+    cell = CellDefinition(name)
+    for _ in range(boxes):
+        x = rng.randrange(0, 80, 2)
+        y = rng.randrange(0, 40, 2)
+        cell.add_box(
+            rng.choice(["diff", "poly", "metal1"]),
+            x, y, x + rng.randrange(2, 8), y + rng.randrange(2, 8),
+        )
+    return cell
+
+
+def layer_multiset(cell):
+    return Counter(cell.flatten())
+
+
+class TestFingerprints:
+    def test_same_content_different_name_same_fingerprint(self):
+        assert fingerprint_cell(make_leaf("a")) == fingerprint_cell(make_leaf("b"))
+
+    def test_geometry_change_changes_fingerprint(self):
+        changed = make_leaf("a")
+        changed.add_box("metal1", 0, 0, 2, 2)
+        assert fingerprint_cell(make_leaf("a")) != fingerprint_cell(changed)
+
+    def test_rules_fingerprint_ignores_name_not_content(self):
+        renamed = TECH_A.scaled(1, 1, name="techA-renamed")
+        assert fingerprint_rules(TECH_A) == fingerprint_rules(renamed)
+        assert fingerprint_rules(TECH_A) != fingerprint_rules(TECH_B)
+
+    def test_hierarchy_participates_in_fingerprint(self):
+        leaf = make_leaf("leaf")
+        parent_a = CellDefinition("p")
+        parent_a.add_instance(leaf, Vec2(0, 0), NORTH)
+        parent_b = CellDefinition("p")
+        parent_b.add_instance(leaf, Vec2(4, 0), NORTH)
+        assert fingerprint_cell(parent_a) != fingerprint_cell(parent_b)
+
+
+class TestFlatCompactionCache:
+    def test_hit_on_identical_cell_readd(self):
+        cache = CompactionCache()
+        first, _ = compact_cell(make_leaf("one"), TECH_A, cache=cache)
+        second, _ = compact_cell(make_leaf("two"), TECH_A, cache=cache)
+        assert cache.hits == 1 and cache.misses == 1
+        assert Counter(
+            (b.layer, b.box) for b in first.boxes
+        ) == Counter((b.layer, b.box) for b in second.boxes)
+
+    def test_miss_and_distinct_result_on_rule_change(self):
+        cache = CompactionCache()
+        a, result_a = compact_cell(make_leaf("x"), TECH_A, cache=cache)
+        b, result_b = compact_cell(make_leaf("x"), TECH_B, cache=cache)
+        assert cache.hits == 0 and cache.misses == 2
+        assert result_a.width_after != result_b.width_after or (
+            Counter((box.layer, box.box) for box in a.boxes)
+            != Counter((box.layer, box.box) for box in b.boxes)
+        )
+
+    def test_miss_on_solver_backend_change(self):
+        cache = CompactionCache()
+        compact_cell(make_leaf("x"), TECH_A, solver="bellman-ford", cache=cache)
+        compact_cell(make_leaf("x"), TECH_A, solver="topological", cache=cache)
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_miss_on_option_change(self):
+        cache = CompactionCache()
+        compact_cell(make_leaf("x"), TECH_A, width_mode="preserve", cache=cache)
+        compact_cell(make_leaf("x"), TECH_A, width_mode="min", cache=cache)
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_cached_result_equals_uncached_oracle(self):
+        cache = CompactionCache()
+        compact_cell(make_leaf("x"), TECH_A, cache=cache)
+        cached, cached_result = compact_cell(make_leaf("x"), TECH_A, cache=cache)
+        plain, plain_result = compact_cell(make_leaf("x"), TECH_A)
+        assert layer_multiset(cached) == layer_multiset(plain)
+        assert cached_result.width_after == plain_result.width_after
+        assert cached_result.layers == plain_result.layers
+
+    def test_cached_value_is_isolated_from_caller_mutation(self):
+        cache = CompactionCache()
+        _, result = compact_cell(make_leaf("x"), TECH_A, cache=cache)
+        result.layers.clear()  # vandalise the returned copy
+        _, again = compact_cell(make_leaf("x"), TECH_A, cache=cache)
+        assert again.layers  # the cache kept its own copy
+
+
+class TestLeafCellCache:
+    @staticmethod
+    def workspace(gap=8, pitch=14):
+        rsg = Rsg()
+        cell = rsg.define_cell("A")
+        cell.add_box("diff", 0, 0, 2, 10)
+        cell.add_box("diff", gap, 0, gap + 2, 10)
+        rsg.interface_by_example(
+            "A", Vec2(0, 0), NORTH, "A", Vec2(pitch, 0), NORTH, index=1
+        )
+        return rsg
+
+    @staticmethod
+    def solve(rsg, cache, rules=TECH_A, solver=None):
+        compactor = LeafCellCompactor(rsg, rules, solver=solver)
+        compactor.add_cell("A")
+        compactor.add_interface("A", "A", 1)
+        return compactor.solve(cache=cache)
+
+    def test_hit_on_identical_resolve(self):
+        cache = CompactionCache()
+        first = self.solve(self.workspace(), cache)
+        second = self.solve(self.workspace(), cache)
+        assert cache.hits == 1 and cache.misses == 1
+        assert first.pitches == second.pitches
+        assert first.edge_positions == second.edge_positions
+
+    def test_miss_on_rule_change(self):
+        cache = CompactionCache()
+        a = self.solve(self.workspace(), cache, rules=TECH_A)
+        b = self.solve(self.workspace(), cache, rules=TECH_B)
+        assert cache.hits == 0 and cache.misses == 2
+        assert a.pitches != b.pitches  # diff spacing differs across techs
+
+    def test_miss_on_interface_constraint_change(self):
+        cache = CompactionCache()
+        self.solve(self.workspace(pitch=14), cache)
+        self.solve(self.workspace(pitch=20), cache)
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_miss_on_solver_backend_change(self):
+        cache = CompactionCache()
+        self.solve(self.workspace(), cache, solver="bellman-ford")
+        self.solve(self.workspace(), cache, solver="incremental")
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_key_snapshots_geometry_at_registration(self):
+        """A workspace mutation between add_cell and solve must not
+        poison the cache: the key describes the registered snapshot."""
+        cache = CompactionCache()
+        rsg = self.workspace()
+        compactor = LeafCellCompactor(rsg, TECH_A)
+        compactor.add_cell("A")
+        compactor.add_interface("A", "A", 1)
+        rsg.cells.lookup("A").add_box("diff", 30, 0, 32, 10)  # post-registration
+        stale = compactor.solve(cache=cache)
+        # A fresh compactor sees the mutated cell: different key, miss,
+        # and a result that includes the third bar.
+        fresh = LeafCellCompactor(rsg, TECH_A)
+        fresh.add_cell("A")
+        fresh.add_interface("A", "A", 1)
+        current = fresh.solve(cache=cache)
+        assert cache.misses == 2 and cache.hits == 0
+        assert len(current.cells["A"].boxes) == 3
+        assert len(stale.cells["A"].boxes) == 2
+
+
+class TestOnDiskCache:
+    def test_round_trip_through_fresh_cache_instance(self, tmp_path):
+        directory = tmp_path / "cache"
+        writer = CompactionCache(str(directory))
+        compact_cell(make_leaf("x"), TECH_A, cache=writer)
+        assert writer.disk_hits == 0
+        reader = CompactionCache(str(directory))
+        cell, result = compact_cell(make_leaf("x"), TECH_A, cache=reader)
+        assert reader.hits == 1 and reader.disk_hits == 1
+        plain, _ = compact_cell(make_leaf("x"), TECH_A)
+        assert layer_multiset(cell) == layer_multiset(plain)
+
+    def test_survives_a_fresh_process(self, tmp_path):
+        directory = tmp_path / "cache"
+        script = (
+            "import sys, random\n"
+            f"sys.path.insert(0, {REPO_SRC!r})\n"
+            "from repro.compact import TECH_A, CompactionCache, compact_cell\n"
+            "from repro.core.cell import CellDefinition\n"
+            "rng = random.Random(7)\n"
+            "cell = CellDefinition('x')\n"
+            "for _ in range(12):\n"
+            "    x = rng.randrange(0, 80, 2); y = rng.randrange(0, 40, 2)\n"
+            "    cell.add_box(rng.choice(['diff', 'poly', 'metal1']),"
+            " x, y, x + rng.randrange(2, 8), y + rng.randrange(2, 8))\n"
+            f"compact_cell(cell, TECH_A, cache=CompactionCache({str(directory)!r}))\n"
+        )
+        subprocess.run([sys.executable, "-c", script], check=True)
+        reader = CompactionCache(str(directory))
+        compact_cell(make_leaf("anything"), TECH_A, cache=reader)
+        assert reader.disk_hits == 1
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        directory = tmp_path / "cache"
+        writer = CompactionCache(str(directory))
+        compact_cell(make_leaf("x"), TECH_A, cache=writer)
+        for entry in directory.iterdir():
+            entry.write_bytes(b"not a pickle")
+        reader = CompactionCache(str(directory))
+        cell, _ = compact_cell(make_leaf("x"), TECH_A, cache=reader)
+        assert reader.misses == 1 and reader.hits == 0
+        assert cell.boxes
+
+
+class TestParallelFanout:
+    @staticmethod
+    def batch():
+        return [(f"cell{index}", make_leaf(f"cell{index}", seed=index)) for index in range(5)]
+
+    def test_jobs2_identical_to_serial(self):
+        serial = compact_cells(self.batch(), TECH_A, jobs=1)
+        parallel = compact_cells(self.batch(), TECH_A, jobs=2)
+        assert [name for name, _, _ in serial] == [name for name, _, _ in parallel]
+        for (_, cell_s, result_s), (_, cell_p, result_p) in zip(serial, parallel):
+            assert layer_multiset(cell_s) == layer_multiset(cell_p)
+            assert result_s.layers == result_p.layers
+            assert result_s.width_after == result_p.width_after
+
+    def test_deterministic_ordering_with_cache_mix(self):
+        cache = CompactionCache()
+        compact_cells(self.batch()[:2], TECH_A, jobs=1, cache=cache)
+        mixed = compact_cells(self.batch(), TECH_A, jobs=2, cache=cache)
+        assert [name for name, _, _ in mixed] == [name for name, _ in self.batch()]
+        assert cache.hits == 2
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            compact_cells(self.batch(), TECH_A, jobs=0)
+
+
+class TestHierarchicalCompactor:
+    @staticmethod
+    def tiled(n=4, distinct=3):
+        leaves = [make_leaf(f"leaf{k}", seed=k) for k in range(distinct)]
+        top = CellDefinition("top")
+        for i in range(n):
+            for j in range(n):
+                top.add_instance(leaves[(i + j) % distinct], Vec2(i * 100, j * 50))
+        return top
+
+    def test_distinct_leaf_collection(self):
+        top = self.tiled()
+        assert [leaf.name for leaf in distinct_leaf_cells(top)] == [
+            "leaf0", "leaf1", "leaf2",
+        ]
+
+    def test_cached_path_equals_uncached_oracle(self):
+        cache = CompactionCache()
+        oracle = HierarchicalCompactor(TECH_A).compact(self.tiled())
+        warm = HierarchicalCompactor(TECH_A, cache=cache)
+        warm.compact(self.tiled())
+        cached = warm.compact(self.tiled())
+        assert layer_multiset(cached) == layer_multiset(oracle)
+        assert warm.last_report.cache_hits == 3
+        assert warm.last_report.cache_misses == 0
+
+    def test_parallel_path_equals_serial_oracle(self):
+        serial = HierarchicalCompactor(TECH_A, jobs=1).compact(self.tiled())
+        parallel = HierarchicalCompactor(TECH_A, jobs=2).compact(self.tiled())
+        assert layer_multiset(serial) == layer_multiset(parallel)
+        assert list(serial.flatten()) == list(parallel.flatten())
+
+    def test_report_keeps_both_results_on_name_collision(self):
+        """Distinct-content leaves sharing a name must not overwrite
+        each other's CompactionResult in the report."""
+        top = CellDefinition("top")
+        top.add_instance(make_leaf("same", seed=1), Vec2(0, 0), NORTH)
+        top.add_instance(make_leaf("same", seed=2), Vec2(300, 0), NORTH)
+        compactor = HierarchicalCompactor(TECH_A)
+        compactor.compact(top)
+        report = compactor.last_report
+        assert report.unique_contents == 2
+        assert set(report.results) == {"same", "same#2"}
+
+    def test_content_dedup_compacts_once(self):
+        """Same-content leaves under different names share one solve."""
+        top = CellDefinition("top")
+        top.add_instance(make_leaf("a", seed=3), Vec2(0, 0), NORTH)
+        top.add_instance(make_leaf("b", seed=3), Vec2(200, 0), NORTH)
+        compactor = HierarchicalCompactor(TECH_A)
+        compactor.compact(top)
+        assert compactor.last_report.distinct_cells == 2
+        assert compactor.last_report.unique_contents == 1
+
+    def test_ports_and_labels_survive(self):
+        leaf = make_leaf("leaf")
+        leaf.add_port("in", 0, 0, "metal1")
+        leaf.add_label("note", 1, 1)
+        top = CellDefinition("top")
+        top.add_instance(leaf, Vec2(0, 0), NORTH, name="u0")
+        compacted = HierarchicalCompactor(TECH_A).compact(top)
+        assert [port.name for port in compacted.flatten_ports()] == ["u0/in"]
+        assert [label.text for label in compacted.flatten_labels()] == ["note"]
+
+    def test_rejects_bad_axes(self):
+        with pytest.raises(ValueError):
+            HierarchicalCompactor(TECH_A, axes="z")
+
+    def test_report_counts(self):
+        compactor = HierarchicalCompactor(TECH_A, jobs=1)
+        compactor.compact(self.tiled(n=4, distinct=3))
+        report = compactor.last_report
+        assert report.instance_count == 16
+        assert report.distinct_cells == 3
+        assert set(report.results) == {"leaf0", "leaf1", "leaf2"}
+        assert "3 distinct leaf cell(s)" in report.summary()
