@@ -23,19 +23,22 @@ bench:
 # REPRO_BENCH_SMOKE knob trims size-parameterised benchmarks (routing,
 # connectivity) to their smallest case.  The scaling guards still run
 # here: the sweep-kernel guards (bench_scanline, bench_sweep — doubling
-# the box count must stay sub-quadratic) and the hierarchy-pipeline
+# the box count must stay sub-quadratic), the hierarchy-pipeline
 # flatten guard (bench_hierarchy — doubling the instance count must
-# grow flatten time < 3x), so a regression to the O(n^2) rescans or to
-# instance-proportional transform work fails CI.  The bench_hierarchy
+# grow flatten time < 3x), and the verification guard (bench_verify —
+# doubling the stamped instances must grow hierarchical extraction
+# < 3x), so a regression to the O(n^2) rescans or to
+# instance-proportional work fails CI.  The bench_hierarchy
 # parallel case asserts jobs=2 output is identical to serial at every
-# size.  BENCH_compaction.json is written here too (at the smoke
+# size; bench_verify asserts hier extraction is LVS-identical to flat.
+# BENCH_compaction.json is written here too (at the smoke
 # sizes) so CI can upload the trajectory per run.
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PY) -m pytest benchmarks/bench_*.py -q --benchmark-disable
 
-# Fails when public modules in src/repro/compact/ or src/repro/route/
-# lack docstrings — the documentation surface the architecture notes
-# depend on.
+# Fails when public modules in src/repro/compact/, src/repro/route/ or
+# src/repro/verify/ lack docstrings — the documentation surface the
+# architecture notes depend on.
 docs-check:
 	$(PY) -m pytest tests/test_docstrings.py -q
 

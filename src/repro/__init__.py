@@ -59,7 +59,24 @@ from .geometry import (
     Vec2,
 )
 
-__version__ = "1.0.0"
+def _resolve_version() -> str:
+    """Package version from installed metadata, with a source fallback.
+
+    Deployed copies (``pip install``) report the version recorded by
+    packaging metadata; a source checkout without metadata falls back
+    to the pyproject default so ``repro --version`` always answers.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - Python < 3.8 only
+        return "1.0.0"
+    try:
+        return version("repro-rsg")
+    except PackageNotFoundError:
+        return "1.0.0"
+
+
+__version__ = _resolve_version()
 
 __all__ = [
     "Rsg",

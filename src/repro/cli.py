@@ -19,6 +19,8 @@ Usage::
     python -m repro parameters.par --compact xy --solver topological
     python -m repro parameters.par --compact hier --jobs 4 --cache-dir .rsgcache
     python -m repro parameters.par --route wires.net --router channel
+    python -m repro parameters.par --verify all --sim-vectors 256
+    python -m repro --version
 
 ``--compact`` runs the chapter-6 flat compactor over the generated cell
 before it is written (``x``/``y``/``xy``/``yx``), or — with ``hier`` —
@@ -33,7 +35,11 @@ compacted twice, even across runs.  ``--route`` composes two cells
 from the workspace with the wiring subsystem: the net file names a
 bottom cell, a top cell and the nets to route between their facing
 edges (see :func:`repro.route.compose.parse_net_file`); the routed
-composite becomes the output cell.
+composite becomes the output cell.  ``--verify`` closes the loop from
+mask geometry back to logical function (:mod:`repro.verify`): device
+extraction plus LVS against the intended netlist and/or switch-level
+simulation against the programmed personality, with ``--sim-vectors``
+bounding the vector count; a failed check exits non-zero.
 """
 
 from __future__ import annotations
@@ -73,6 +79,8 @@ def run_flow(
     router: str = "auto",
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    verify_mode: Optional[str] = None,
+    sim_vectors: Optional[int] = None,
 ) -> CellDefinition:
     """Execute the full generation flow described by a parameter file.
 
@@ -88,7 +96,13 @@ def run_flow(
     either compaction mode.  ``route_path`` names a net-request file:
     the named cells are composed with the wiring subsystem (``router``
     picks the algorithm) and the routed composite replaces the output
-    cell.
+    cell.  ``verify_mode`` (``"lvs"``, ``"sim"`` or ``"all"``) runs
+    the silicon-verification subsystem over the result — mask-level
+    extraction + LVS + switch-level simulation for PLA-family outputs,
+    the cell-level recipe for multipliers, the connectivity round-trip
+    for routed composites — and raises :class:`RsgError` on failure;
+    ``sim_vectors`` caps the simulated input combinations (exhaustive
+    below the cap, seeded sampling above).
     """
     if compact_axes and route_path:
         # The composite is built from the workspace cells, which flat
@@ -132,6 +146,7 @@ def run_flow(
             jobs=jobs, cache_dir=cache_dir,
         )
 
+    plan = None
     if route_path:
         from .route import compose_from_netfile
 
@@ -146,6 +161,11 @@ def run_flow(
         )
         if output_stream is not None:
             print(plan.summary(), file=output_stream)
+
+    if verify_mode:
+        _verify_flow_cell(
+            cell, plan, verify_mode, sim_vectors, technology, output_stream,
+        )
 
     output_path = parameters.directives.get("output_file")
     output_format = parameters.directives.get("format", "cif").lower()
@@ -163,6 +183,59 @@ def run_flow(
         if output_stream is not None:
             print(f"wrote {output_format} to {output_path}", file=output_stream)
     return cell
+
+
+def _verify_flow_cell(
+    cell: CellDefinition,
+    plan,
+    mode: str,
+    sim_vectors: Optional[int],
+    technology: str,
+    output_stream,
+) -> None:
+    """Run the requested verification over the flow's output cell.
+
+    Routed composites get the wiring connectivity round-trip (the two
+    routed blocks are opaque here, so every mode runs the same
+    structural check — stated in the output rather than silently
+    assumed); everything else goes through
+    :func:`repro.verify.verify_cell`.  Raises :class:`RsgError` when
+    any check fails, so the CLI exits non-zero on a functionally
+    broken layout.
+    """
+    if mode not in ("lvs", "sim", "all"):
+        raise RsgError(f"--verify takes lvs, sim or all, not {mode!r}")
+    if plan is not None:
+        from .route.compose import verify_composite
+
+        mismatches = verify_composite(cell, plan)
+        if output_stream is not None:
+            print(
+                f"verify {cell.name} (routed composite, connectivity"
+                f" round-trip for any --verify mode):"
+                f" {len(plan.nets)} nets round-tripped,"
+                f" {len(mismatches)} mismatches", file=output_stream,
+            )
+        if mismatches:
+            raise RsgError(
+                "verification failed: " + "; ".join(mismatches[:3])
+            )
+        return
+    from .verify import verify_cell
+    from .verify.driver import DEFAULT_MAX_VECTORS
+
+    rules = {"A": TECH_A, "B": TECH_B}.get(technology.upper())
+    if rules is None:
+        raise RsgError(f"unknown technology {technology!r} (use A or B)")
+    report = verify_cell(
+        cell, mode=mode,
+        max_vectors=sim_vectors or DEFAULT_MAX_VECTORS,
+        rules=rules,
+    )
+    if output_stream is not None:
+        print(report.summary(), file=output_stream)
+    if not report.ok:
+        raise RsgError(f"verification failed for {cell.name!r}")
 
 
 def _compact_flow_cell(
@@ -231,6 +304,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Regular Structure Generator: design file + sample"
         " layout + parameter file -> layout",
     )
+    from . import __version__
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the installed package version and exit",
+    )
     parser.add_argument("parameter_file", help="the parameter file (Appendix C style)")
     parser.add_argument(
         "--set",
@@ -288,6 +369,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="auto",
         help="routing algorithm for --route (default: auto)",
     )
+    parser.add_argument(
+        "--verify",
+        choices=["lvs", "sim", "all"],
+        metavar="MODE",
+        help="verify the result against silicon: extract a transistor"
+        " netlist from the masks, compare it with the intended netlist"
+        " (lvs), switch-level simulate it against the programmed"
+        " function (sim), or both (all); routed composites get the"
+        " wiring connectivity round-trip",
+    )
+    parser.add_argument(
+        "--sim-vectors",
+        type=int,
+        metavar="N",
+        help="cap on simulated input combinations for --verify"
+        " (exhaustive up to N, seeded random sampling beyond;"
+        " default: 4096)",
+    )
     arguments = parser.parse_args(argv)
     if not arguments.compact and not arguments.route and (
         arguments.solver or arguments.tech
@@ -305,6 +404,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--cache-dir has no effect without --compact")
     if arguments.router != "auto" and not arguments.route:
         parser.error("--router has no effect without --route")
+    if arguments.sim_vectors is not None and not arguments.verify:
+        parser.error("--sim-vectors has no effect without --verify")
+    if arguments.sim_vectors is not None and arguments.sim_vectors < 1:
+        parser.error("--sim-vectors must be at least 1")
+    if arguments.sim_vectors is not None and arguments.route:
+        parser.error(
+            "--sim-vectors has no effect with --route: routed composites"
+            " verify by connectivity round-trip, not simulation"
+        )
     if arguments.compact and arguments.route:
         parser.error("--compact and --route cannot be combined (the composite"
                      " is built from the uncompacted workspace cells)")
@@ -320,6 +428,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             router=arguments.router,
             jobs=arguments.jobs,
             cache_dir=arguments.cache_dir,
+            verify_mode=arguments.verify,
+            sim_vectors=arguments.sim_vectors,
         )
     except (RsgError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)

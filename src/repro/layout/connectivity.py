@@ -62,6 +62,20 @@ class PortNetlist:
         other = self.net_of(b)
         return other is not None and a in self.nets[other]
 
+    def merge(self, other: "PortNetlist") -> "PortNetlist":
+        """Append another netlist's ports and nets into this one.
+
+        Nets are renumbered after this netlist's own; ports present in
+        both keep this netlist's position and their *first* net index,
+        matching the wildcard convention (the index records the first
+        net holding a port).  Returns ``self`` for chaining.
+        """
+        for name, position in other.ports.items():
+            self.ports.setdefault(name, position)
+        for net in other.nets:
+            self.add_net(list(net))
+        return self
+
     def multi_terminal_nets(self) -> List[List[str]]:
         return [net for net in self.nets if len(net) >= 2]
 

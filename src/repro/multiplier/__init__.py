@@ -18,12 +18,18 @@ from .designfile import (
     generate_via_language,
 )
 from .regconfig import RegisterConfiguration, register_configuration
-from .generator import MultiplierReport, generate_multiplier, report_for
+from .generator import (
+    MultiplierReport,
+    generate_multiplier,
+    intended_multiplier_netlist,
+    report_for,
+)
 from .netlist import Cell, Netlist
 from .retiming import PipelinedSimulator, RegisterAssignment, retime
 
 __all__ = [
     "build_baugh_wooley",
+    "intended_multiplier_netlist",
     "multiply",
     "reference_product",
     "cell_type_grid",

@@ -20,9 +20,15 @@ from ..core.cell import CellDefinition
 from ..core.graph import Node
 from ..core.operators import Rsg
 from ..layout.database import FlatLayout, flatten_cell
+from ..verify.netlist import SwitchNetlist
 from .cells import CELL_PITCH, REG_PITCH, load_multiplier_library
 
-__all__ = ["generate_multiplier", "MultiplierReport", "report_for"]
+__all__ = [
+    "generate_multiplier",
+    "MultiplierReport",
+    "report_for",
+    "intended_multiplier_netlist",
+]
 
 # Interface index numbers, matching PARAMETER_FILE.
 H_INUM = 1
@@ -207,6 +213,115 @@ def generate_multiplier(
         cell = compactor.compact(cell)
         rsg.cells.define(cell, replace=True)
     return cell
+
+
+def intended_multiplier_netlist(xsize: int, ysize: int) -> SwitchNetlist:
+    """Golden cell-level netlist of an ``xsize`` x ``ysize`` multiplier.
+
+    Encodes the architecture of Figure 5.1 / Appendix B directly —
+    independently of the generator, interface tables and graph
+    expansion: the carry-save array plus carry-propagate row on the
+    20-lambda grid, sum seams straight down and carry seams to the
+    left neighbour, the input-skew and output-deskew register
+    triangles, and the bidirectional right-edge register rows with
+    their direction masks.  Device kinds fold in the personalisation
+    masks exactly as :func:`repro.verify.cellgraph.cell_graph_netlist`
+    reads them back, so LVS between the two checks every placement and
+    personalisation decision the generator makes.
+    """
+    if xsize < 1 or ysize < 1:
+        raise ValueError("multiplier size must be at least 1x1")
+    netlist = SwitchNetlist()
+    net_at: Dict[Tuple[int, int], int] = {}
+
+    def net(position: Tuple[int, int]) -> int:
+        found = net_at.get(position)
+        if found is None:
+            found = netlist.add_net()
+            net_at[position] = found
+            netlist.net_positions[found] = position
+        return found
+
+    def add(kind_parts: List[str], pins: List[Tuple[str, Tuple[int, int]]]) -> None:
+        head, masks = kind_parts[0], sorted(kind_parts[1:])
+        netlist.add_device(
+            "/".join([head] + masks),
+            [(name, net(position)) for name, position in pins],
+        )
+
+    pitch, reg_pitch = CELL_PITCH, REG_PITCH
+    for yloc in range(1, ysize + 2):
+        for xloc in range(1, xsize + 1):
+            x = pitch * (xloc - 1)
+            y = -pitch * (yloc - 1)
+            if yloc == ysize + 1:
+                type_mask = "type1"
+            elif xloc == xsize:
+                type_mask = "type1" if yloc == ysize else "type2"
+            else:
+                type_mask = "type2" if yloc == ysize else "type1"
+            phi = "phi1" if xloc % 2 == 0 else "phi2"
+            if yloc == ysize:
+                car = "car2"
+            elif yloc == ysize + 1:
+                car = "car1" if xloc == xsize else "car2"
+            else:
+                car = "car1"
+            add(
+                ["basiccell", type_mask, phi, car],
+                [
+                    ("sin", (x + 10, y + 20)),
+                    ("sout", (x + 10, y)),
+                    ("cin", (x + 20, y + 9)),
+                    ("cout", (x, y + 9)),
+                ],
+            )
+    # Input-skew triangle: column c carries c registers, stacked upward
+    # from directly above array row 1.
+    for column in range(1, xsize + 1):
+        x = pitch * (column - 1)
+        for step in range(column):
+            y = pitch + reg_pitch * step
+            add(
+                ["reg"],
+                [("din", (x + 10, y)), ("dout", (x + 10, y + reg_pitch))],
+            )
+    # Output-deskew triangle: column c carries xsize+1-c registers,
+    # stacked downward from directly below the carry-propagate row.
+    cpa_y = -pitch * ysize
+    for column in range(1, xsize + 1):
+        x = pitch * (column - 1)
+        for step in range(xsize + 1 - column):
+            y = cpa_y - reg_pitch * (step + 1)
+            add(
+                ["reg"],
+                [("din", (x + 10, y)), ("dout", (x + 10, y + reg_pitch))],
+            )
+    # Right-edge register rows with bidirectional direction masks.
+    regnum = 3 * ysize + 1
+    length = (regnum + 1) // 2
+    for index in range(1, ysize + 1):
+        ins = index * 2
+        outs = regnum - ins
+        bi = min(ins, outs, length)
+        if ins > outs:
+            double, single = "goin", "sgoin"
+        else:
+            double, single = "goout", "sgoout"
+        y = -pitch * (index - 1)
+        for position in range(1, length + 1):
+            if position <= bi:
+                mask = "goboth"
+            elif position == bi + 1:
+                mask = single
+            else:
+                mask = double
+            x = pitch * xsize + pitch * (position - 1)
+            add(
+                ["reg", mask],
+                [("din", (x + 10, y)), ("dout", (x + 10, y + reg_pitch))],
+            )
+    return netlist
 
 
 @dataclass

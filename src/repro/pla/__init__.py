@@ -7,9 +7,15 @@ from .designfile import (
     generate_pla_via_language,
 )
 from .folding import FoldingPlan, generate_folded_pla, plan_column_folding
-from .generator import extract_personality, generate_decoder, generate_pla
+from .generator import (
+    extract_personality,
+    generate_decoder,
+    generate_pla,
+    intended_decoder_netlist,
+    intended_pla_netlist,
+)
 from .hpla import HplaDescription, HplaGenerator, compile_description
-from .rom import generate_rom, read_rom_back, rom_table
+from .rom import generate_rom, intended_rom_netlist, read_rom_back, rom_table
 from .truthtable import TruthTable
 
 __all__ = [
@@ -28,6 +34,9 @@ __all__ = [
     "PLA_PITCH",
     "CONNECT_WIDTH",
     "generate_pla",
+    "intended_pla_netlist",
+    "intended_decoder_netlist",
+    "intended_rom_netlist",
     "generate_decoder",
     "extract_personality",
     "HplaGenerator",

@@ -6,6 +6,35 @@ and crosspoint masks.  Note the sample contains each interface **once**
 — the paper points out HPLA's fully-assembled 2x2x2 sample carried
 redundant copies ("2 identical instances of the and-sq connect-ao
 interface when only one was required").
+
+Unlike the first revision of this library, the cells are *electrically
+true*: the masks assemble into a working depletion-load NMOS NOR-NOR
+PLA that the verification subsystem (:mod:`repro.verify`) can extract
+and simulate.  The electrical plan, at the library's 10-lambda pitch:
+
+* **rows** are horizontal ``metal1`` product-term wires (y 4..6 of each
+  square), free to cross the vertical columns;
+* **columns** are vertical ``poly`` wires — per input a *true* column
+  (x 1..3, carrying the input) and a *complement* column (x 6..8,
+  carrying its inversion from the input buffer), per output one output
+  column — plus a vertical ``diff`` ground column per square that no
+  poly ever crosses;
+* **crosspoints** are enhancement pull-downs: a diffusion strip from
+  the ground column passing under the selected poly column (the gate)
+  to a contact cut onto the row metal.  ``xtrue`` gates on the
+  *complement* column and ``xfalse`` on the *true* column, so a term
+  row sits high exactly when every selected literal is satisfied;
+* **pull-ups** are depletion loads (implant over the channel, gate
+  stub left floating by the extractor's convention): one per row in
+  ``andpull`` (fed from its vertical VDD bus), one per output column
+  and one per buffered output in ``outbuf``;
+* **buffers**: ``inbuf`` derives the complement column with an
+  inverter; ``outbuf`` inverts the output column's NOR so the buffered
+  ``out`` port implements the OR of the programmed terms.
+
+``vdd!``/``gnd!`` ports mark the rails; the trailing ``!`` makes the
+names global during extraction, so the physically separate buffer-row
+rail and pull-up bus become single electrical nodes.
 """
 
 from __future__ import annotations
@@ -19,52 +48,101 @@ PLA_PITCH = 10
 CONNECT_WIDTH = 6
 
 PLA_SAMPLE = """\
-# PLA leaf-cell library (sample layout).
+# PLA leaf-cell library (sample layout).  See repro/pla/cells.py for
+# the electrical plan; every cell is a working NMOS fragment.
 
 cell andsq
-  box poly 0 4 10 6        # product-term row wire
-  box metal1 2 0 4 10      # true input column
-  box metal1 6 0 8 10      # complemented input column
+  box metal1 0 4 10 6      # product-term row wire
+  box poly 1 0 3 10        # true input column
+  box poly 6 0 8 10        # complemented input column
+  box diff 4 0 5 10        # ground column (no poly ever crosses it)
 end
 
 cell orsq
-  box poly 0 4 10 6        # product-term row wire
-  box metal1 4 0 6 10      # output column
+  box metal1 0 4 10 6      # product-term row wire
+  box poly 6 0 8 10        # output column
+  box diff 2 0 3 10        # ground column
 end
 
 cell connectao
-  box poly 0 4 6 6         # row wire through the spacer
+  box metal1 0 4 6 6       # row wire through the spacer
 end
 
 cell andpull
-  box diff 2 2 8 8         # row pull-up
-  box poly 6 4 10 6
+  box metal1 0 0 2 10      # VDD bus (stacks vertically with the rows)
+  box metal1 6 4 10 6      # row wire stub
+  box diff 1 4 7 6         # depletion load: VDD -> row
+  box cut 1 4 2 6          # VDD bus -> load diffusion
+  box poly 4 3 5 7         # load gate stub (floating by convention)
+  box implant 4 4 5 6      # depletion marker over the channel
+  box cut 6 4 7 6          # load diffusion -> row metal
+  port vdd! 1 9 metal1
+  port row 8 5 metal1
 end
 
 cell orpull
-  box diff 2 2 8 8
-  box poly 0 4 4 6
+  box metal1 0 4 4 6       # row terminator stub
 end
 
 cell inbuf
-  box diff 1 1 9 7         # input driver
-  box metal1 2 7 4 10
-  box metal1 6 7 8 10
+  box metal1 0 0 10 1      # VDD rail (abuts across the buffer row)
+  box poly 1 0 3 10        # true column continues down
+  box poly 6 0 8 10        # complement column continues down
+  box diff 4 0 5 10        # ground column continues down
+  box diff 0 2 4 4         # inverter pull-down: gnd -> channel -> drain
+  box cut 0 2 1 4          # drain -> jumper
+  box metal1 0 2 7 4       # jumper to the complement column
+  box cut 6 2 7 4          # jumper -> complement column
+  box diff 8 0 9 5         # depletion load riser
+  box cut 8 0 9 1          # VDD rail -> riser
+  box poly 8 2 9 3         # load gate stub (ties to the column at x=8)
+  box implant 8 2 9 3      # depletion marker
+  box metal1 6 4 9 5       # load output jumper
+  box cut 8 4 9 5          # jumper -> riser top
+  box cut 6 4 7 5          # jumper -> complement column
+  port vdd! 1 0 metal1
+  port gnd! 4 8 diff
+  port in 2 0 poly
 end
 
 cell outbuf
-  box diff 1 1 9 7         # output driver
-  box metal1 4 7 6 10
+  box metal1 0 0 10 1      # VDD rail
+  box poly 6 0 8 10        # output column continues down
+  box diff 2 0 3 10        # ground column continues down
+  box diff 8 0 9 5         # column pull-up riser
+  box cut 8 0 9 1          # VDD rail -> riser
+  box poly 8 2 9 3         # load gate stub
+  box implant 8 2 9 3      # depletion marker
+  box metal1 6 4 9 5       # load output jumper
+  box cut 8 4 9 5          # jumper -> riser top
+  box cut 6 4 7 5          # jumper -> output column
+  box diff 4 0 5 4         # out-node pull-up riser
+  box cut 4 0 5 1          # VDD rail -> riser
+  box poly 4 2 5 3         # load gate stub
+  box implant 4 2 5 3      # depletion marker
+  box metal1 4 3 5 7       # riser -> out wire link
+  box cut 4 3 5 4          # link -> riser top
+  box diff 2 8 9 10        # output inverter: gnd -> channel -> drain
+  box metal1 3 6 9 9       # buffered out wire
+  box cut 8 8 9 9          # inverter drain -> out wire
+  port vdd! 9 0 metal1
+  port gnd! 2 7 diff
+  port out 8 7 metal1
 end
 
 cell xtrue
-  box contact 0 0 2 2      # crosspoint on the true column
+  box diff 0 0 4 2         # gnd -> channel under the complement column
+  box cut 3 0 4 2          # drain -> row metal
 end
 cell xfalse
-  box contact 0 0 2 2      # crosspoint on the complemented column
+  box diff 0 0 4 2         # gnd -> channel under the true column
+  box cut 0 0 1 2          # drain -> row metal
 end
 cell xout
-  box contact 0 0 2 2      # OR-plane crosspoint
+  box poly 2 0 3 7         # gate stub picking the row signal up
+  box cut 2 2 3 4          # row metal -> gate stub
+  box diff 0 5 4 7         # gnd -> channel -> drain
+  box cut 3 5 5 7          # drain -> output column
 end
 
 # ---- interfaces by example -------------------------------------------
@@ -129,18 +207,18 @@ end
 # crosspoint masks inside plane squares
 example
   inst andsq 0 0 north
-  inst xtrue 2 4 north
-  label 1 3 5
+  inst xtrue 5 4 north
+  label 1 6 5
 end
 example
   inst andsq 0 0 north
-  inst xfalse 6 4 north
-  label 1 7 5
+  inst xfalse 0 4 north
+  label 1 1 5
 end
 example
   inst orsq 0 0 north
-  inst xout 4 4 north
-  label 1 5 5
+  inst xout 2 2 north
+  label 1 3 3
 end
 """
 

@@ -22,10 +22,17 @@ from ..core.cell import CellDefinition
 from ..core.graph import Node
 from ..core.operators import Rsg
 from ..geometry import Transform, Vec2
+from ..verify.netlist import SwitchNetlist
 from .cells import load_pla_library
 from .truthtable import TruthTable
 
-__all__ = ["generate_pla", "generate_decoder", "extract_personality"]
+__all__ = [
+    "generate_pla",
+    "generate_decoder",
+    "extract_personality",
+    "intended_pla_netlist",
+    "intended_decoder_netlist",
+]
 
 
 def _build_term_row(rsg: Rsg, table: TruthTable, term: int) -> Tuple[Node, List[Node]]:
@@ -143,6 +150,90 @@ def generate_decoder(
         cell = compactor.compact(cell)
         rsg.cells.define(cell, replace=True)
     return cell
+
+
+def _intended_and_plane(
+    netlist: SwitchNetlist, and_rows: List[str]
+) -> Tuple[int, int, List[int]]:
+    """Build the shared AND-plane structure into ``netlist``.
+
+    Rails, one input inverter per column (enhancement pull-down plus
+    depletion load), one depletion row pull-up per term, and one
+    enhancement pull-down per programmed literal — gated by the
+    complement column for ``'1'``, the true column for ``'0'``.  The
+    input columns are appended to ``netlist.inputs``; returns
+    ``(vdd, gnd, row nets)`` so callers add their output structure.
+    """
+    vdd = netlist.add_net("vdd!")
+    gnd = netlist.add_net("gnd!")
+    netlist.vdd_nets.add(vdd)
+    netlist.gnd_nets.add(gnd)
+    true_cols: List[int] = []
+    comp_cols: List[int] = []
+    for index in range(len(and_rows[0]) if and_rows else 0):
+        true_col = netlist.add_net(f"in{index}")
+        comp_col = netlist.add_net(f"comp{index}")
+        netlist.add_transistor(true_col, comp_col, gnd)
+        netlist.add_transistor(None, comp_col, vdd, depletion=True)
+        true_cols.append(true_col)
+        comp_cols.append(comp_col)
+        netlist.inputs.append(true_col)
+    rows: List[int] = []
+    for term, row_bits in enumerate(and_rows):
+        row = netlist.add_net(f"row{term}")
+        netlist.add_transistor(None, row, vdd, depletion=True)
+        rows.append(row)
+        for index, literal in enumerate(row_bits):
+            if literal == "1":
+                netlist.add_transistor(comp_cols[index], row, gnd)
+            elif literal == "0":
+                netlist.add_transistor(true_cols[index], row, gnd)
+    return vdd, gnd, rows
+
+
+def intended_pla_netlist(table: TruthTable) -> SwitchNetlist:
+    """The golden transistor netlist a PLA for ``table`` must extract to.
+
+    Mirrors the electrical plan of the sample library
+    (:mod:`repro.pla.cells`) device for device: the shared AND plane
+    (:func:`_intended_and_plane`), one enhancement pull-down per
+    OR-plane crosspoint, and per output a column pull-up plus an
+    inverting buffer.  LVS (:mod:`repro.verify.lvs`) compares the
+    extracted netlist against this one.
+    """
+    netlist = SwitchNetlist()
+    vdd, gnd, rows = _intended_and_plane(netlist, list(table.and_plane))
+    for index in range(table.num_outputs):
+        column = netlist.add_net(f"col{index}")
+        out = netlist.add_net(f"out{index}")
+        netlist.add_transistor(None, column, vdd, depletion=True)
+        netlist.add_transistor(None, out, vdd, depletion=True)
+        netlist.add_transistor(column, out, gnd)
+        for term, row_bits in enumerate(table.or_plane):
+            if row_bits[index] == "1":
+                netlist.add_transistor(rows[term], column, gnd)
+        netlist.outputs.append(out)
+    return netlist
+
+
+def intended_decoder_netlist(n: int) -> SwitchNetlist:
+    """Golden netlist of :func:`generate_decoder`'s output.
+
+    A decoder is the AND plane of a full-minterm PLA with the rows
+    themselves as outputs: the builder reuses the exact
+    :func:`_intended_and_plane` structure shared with
+    :func:`intended_pla_netlist`, minus OR plane and output buffers.
+    """
+    if n < 1:
+        raise ValueError("decoder needs at least one input")
+    and_rows = []
+    for minterm in range(1 << n):
+        bits = [(minterm >> i) & 1 for i in range(n)]
+        and_rows.append("".join("1" if bit else "0" for bit in bits))
+    netlist = SwitchNetlist()
+    _, _, rows = _intended_and_plane(netlist, and_rows)
+    netlist.outputs.extend(rows)
+    return netlist
 
 
 def extract_personality(cell: CellDefinition) -> TruthTable:

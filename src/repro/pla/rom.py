@@ -16,11 +16,12 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 
 from ..core.cell import CellDefinition
 from ..core.operators import Rsg
+from ..verify.netlist import SwitchNetlist
 from .cells import load_pla_library
-from .generator import extract_personality, generate_pla
+from .generator import extract_personality, generate_pla, intended_pla_netlist
 from .truthtable import TruthTable
 
-__all__ = ["rom_table", "generate_rom", "read_rom_back"]
+__all__ = ["rom_table", "generate_rom", "read_rom_back", "intended_rom_netlist"]
 
 
 def rom_table(words: Sequence[int], data_bits: int) -> TruthTable:
@@ -64,6 +65,16 @@ def generate_rom(
         rsg = load_pla_library()
     table = rom_table(words, data_bits)
     return generate_pla(table, rsg=rsg, name=name, compactor=compactor), table
+
+
+def intended_rom_netlist(words: Sequence[int], data_bits: int) -> SwitchNetlist:
+    """Golden transistor netlist of a ROM storing ``words``.
+
+    A ROM is a PLA whose personality is the stored data, so the hook
+    delegates to :func:`~repro.pla.generator.intended_pla_netlist` over
+    :func:`rom_table` — the netlist LVS must recover from the masks.
+    """
+    return intended_pla_netlist(rom_table(words, data_bits))
 
 
 def read_rom_back(cell: CellDefinition, word_count: int, data_bits: int) -> List[int]:

@@ -27,6 +27,7 @@ from .compose import (
     compose,
     compose_from_netfile,
     parse_net_file,
+    verify_composite,
 )
 from .extract import routed_netlist, wire_components, wire_components_reference
 from .river import river_route
@@ -40,6 +41,7 @@ __all__ = [
     "NetRequest",
     "WiringPlan",
     "compose",
+    "verify_composite",
     "compose_from_netfile",
     "parse_net_file",
     "routed_netlist",

@@ -37,7 +37,14 @@ from .river import river_route
 from .style import RouteStyle, RoutingError
 from .wiring import Wiring
 
-__all__ = ["NetRequest", "WiringPlan", "compose", "parse_net_file", "compose_from_netfile"]
+__all__ = [
+    "NetRequest",
+    "WiringPlan",
+    "compose",
+    "parse_net_file",
+    "compose_from_netfile",
+    "verify_composite",
+]
 
 NetsArgument = Union[
     Mapping[str, Sequence[Tuple[str, str]]],
@@ -106,6 +113,31 @@ class WiringPlan:
             f"composed {self.bottom_name!r} + {self.top_name!r} via"
             f" {self.wiring.summary()}"
         )
+
+
+def verify_composite(composite: CellDefinition, plan: WiringPlan) -> List[str]:
+    """Connectivity round-trip of a routed composite.
+
+    Re-extracts the wire geometry (:func:`repro.route.extract.routed_netlist`)
+    and compares the recovered port groups against the request; returns
+    human-readable mismatch strings (empty = the wiring carries exactly
+    the requested connectivity).  This is the verification hook the
+    ``--verify`` CLI flow runs on routed composites, where the output
+    is wiring plus two opaque blocks rather than a single generated
+    structure.
+    """
+    from .extract import routed_netlist
+
+    extracted = routed_netlist(composite, plan.style)
+    requested = plan.requested_groups()
+    mismatches: List[str] = []
+    for group in requested:
+        if group not in extracted:
+            mismatches.append(f"requested net {group} not recovered from wires")
+    for group in extracted:
+        if group not in requested:
+            mismatches.append(f"wires connect unrequested group {group}")
+    return mismatches
 
 
 def _normalise_nets(nets: NetsArgument) -> Tuple[NetRequest, ...]:

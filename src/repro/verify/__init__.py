@@ -1,0 +1,50 @@
+"""Silicon verification: extraction, switch-level simulation, LVS.
+
+The subsystem closes the loop the paper closed with EXCL and SPICE:
+from generated mask geometry back to logical function.
+
+* :mod:`repro.verify.netlist` — the switch-level netlist substrate;
+* :mod:`repro.verify.extract` — sweep-kernel device/node extraction;
+* :mod:`repro.verify.switchsim` — event-driven 0/1/X simulation;
+* :mod:`repro.verify.lvs` — canonical-form netlist comparison;
+* :mod:`repro.verify.hier` — extract-once/stamp-many hierarchical
+  extraction with content-fingerprint caching;
+* :mod:`repro.verify.driver` — the high-level ``verify_*`` entry
+  points the CLI and the examples call.
+"""
+
+from .cellgraph import cell_graph_netlist, multiplier_personality
+from .driver import (
+    VerificationReport,
+    verify_cell,
+    verify_multiplier,
+    verify_pla,
+)
+from .extract import ExtractionError, extract_layers, extract_netlist
+from .hier import TileExtraction, extract_netlist_hier
+from .lvs import LvsReport, compare_netlists
+from .netlist import Device, SwitchNetlist
+from .switchsim import SimulationError, X, exhaustive_vectors, sample_vectors, simulate
+
+__all__ = [
+    "Device",
+    "SwitchNetlist",
+    "ExtractionError",
+    "extract_layers",
+    "extract_netlist",
+    "TileExtraction",
+    "extract_netlist_hier",
+    "cell_graph_netlist",
+    "multiplier_personality",
+    "LvsReport",
+    "compare_netlists",
+    "SimulationError",
+    "X",
+    "simulate",
+    "exhaustive_vectors",
+    "sample_vectors",
+    "VerificationReport",
+    "verify_cell",
+    "verify_multiplier",
+    "verify_pla",
+]

@@ -1,0 +1,216 @@
+"""Cell-level netlist extraction for stylised sample libraries.
+
+The multiplier sample (chapter 5) is drawn *above* the transistor
+level: its basic cell abstracts the full adder to buses, ports and an
+active area, and its function is selected by personalisation masks
+superimposed on the cell.  Mask-level device extraction therefore has
+nothing to bite on; the verifiable content of such a layout is
+
+* **which** personalised cell sits at each array position (the masks),
+* **how** the cells' ports are wired through abutment and the
+  register stacks (the seams).
+
+This module extracts exactly that as a cell-level
+:class:`~repro.verify.netlist.SwitchNetlist`: one device per leaf cell
+occurrence, kind encoding the cell type *and* the masks landed on it,
+pins labelled with the cell's port names, and nets formed by port
+coincidence (ports sharing a grid point are one node — the same
+convention as :mod:`repro.layout.connectivity`, with layers ignored
+because the stylised seams mix them).  LVS against the generator's
+``intended_netlist`` hook then checks placement and wiring;
+:func:`multiplier_personality` reads the personality grid back for the
+functional product check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.cell import CellDefinition
+from ..geometry import Transform
+from .netlist import SwitchNetlist
+
+__all__ = [
+    "cell_graph_netlist",
+    "multiplier_personality",
+    "MULTIPLIER_HOSTS",
+    "MULTIPLIER_MASKS",
+]
+
+#: cells that become devices in the multiplier's cell graph
+MULTIPLIER_HOSTS = ("basiccell", "reg")
+#: personalisation masks folded into their host's device kind
+MULTIPLIER_MASKS = (
+    "type1",
+    "type2",
+    "car1",
+    "car2",
+    "goboth",
+    "goin",
+    "goout",
+    "sgoin",
+    "sgoout",
+    "phi1_1",
+    "phi1_2",
+    "phi1_3",
+    "phi1_4",
+    "phi2_1",
+    "phi2_2",
+    "phi2_3",
+    "phi2_4",
+)
+
+
+class _Occurrence:
+    """One placed host cell with its masks and world-space ports."""
+
+    __slots__ = ("celltype", "prefix", "origin", "bbox", "masks", "ports")
+
+    def __init__(self, celltype, prefix, origin, bbox):
+        self.celltype = celltype
+        self.prefix = prefix
+        self.origin = origin
+        self.bbox = bbox
+        self.masks: List[str] = []
+        #: (port name, world position)
+        self.ports: List[Tuple[str, Tuple[int, int]]] = []
+
+
+def _collect(
+    cell: CellDefinition,
+    hosts: Sequence[str],
+    masks: Sequence[str],
+) -> Tuple[List[_Occurrence], List[Tuple[str, Tuple[int, int]]]]:
+    """Walk the placed hierarchy; return host occurrences and mask hits."""
+    host_set, mask_set = set(hosts), set(masks)
+    occurrences: List[_Occurrence] = []
+    mask_hits: List[Tuple[str, Tuple[int, int]]] = []
+
+    def walk(node: CellDefinition, transform: Transform, prefix: str) -> None:
+        for index, instance in enumerate(node.instances):
+            if not instance.is_placed:
+                continue
+            world = transform.compose(instance.transform)
+            tag = instance.name or f"{instance.celltype}#{index}"
+            if instance.celltype in host_set:
+                bbox = instance.definition.bounding_box()
+                occurrence = _Occurrence(
+                    instance.celltype,
+                    f"{prefix}{tag}",
+                    (world.offset.x, world.offset.y),
+                    world.apply_box(bbox) if bbox is not None else None,
+                )
+                for port in instance.definition.ports:
+                    position = world.apply(port.position)
+                    occurrence.ports.append((port.name, (position.x, position.y)))
+                occurrences.append(occurrence)
+            elif instance.celltype in mask_set:
+                mask_hits.append(
+                    (instance.celltype, (world.offset.x, world.offset.y))
+                )
+            walk(instance.definition, world, f"{prefix}{tag}/")
+
+    walk(cell, Transform(), "")
+    return occurrences, mask_hits
+
+
+def _attach_masks(
+    occurrences: List[_Occurrence],
+    mask_hits: List[Tuple[str, Tuple[int, int]]],
+) -> None:
+    """Assign each mask to the host cell whose bbox contains it."""
+    for mask, (x, y) in mask_hits:
+        for occurrence in occurrences:
+            bbox = occurrence.bbox
+            if bbox is not None and bbox.xmin <= x < bbox.xmax and bbox.ymin <= y < bbox.ymax:
+                occurrence.masks.append(mask)
+                break
+
+
+def _device_kind(occurrence: _Occurrence) -> str:
+    """Fold the landed masks into a canonical device kind string.
+
+    The phi clock masks collapse to their set name (``phi1``/``phi2``)
+    — four corner contacts of one set always travel together.
+    """
+    masks: Set[str] = set()
+    for mask in occurrence.masks:
+        if mask.startswith("phi"):
+            masks.add(mask.split("_", 1)[0])
+        else:
+            masks.add(mask)
+    return "/".join([occurrence.celltype] + sorted(masks))
+
+
+def cell_graph_netlist(
+    cell: CellDefinition,
+    hosts: Sequence[str] = MULTIPLIER_HOSTS,
+    masks: Sequence[str] = MULTIPLIER_MASKS,
+) -> SwitchNetlist:
+    """Extract the cell-level netlist of a stylised layout.
+
+    One device per placed host cell (kind = cell type plus its masks,
+    pins = its ports), nets by exact port-position coincidence.
+    """
+    occurrences, mask_hits = _collect(cell, hosts, masks)
+    _attach_masks(occurrences, mask_hits)
+    netlist = SwitchNetlist()
+    net_at: Dict[Tuple[int, int], int] = {}
+    for occurrence in sorted(
+        occurrences, key=lambda o: (o.origin[1], o.origin[0], o.celltype)
+    ):
+        pins = []
+        for name, position in occurrence.ports:
+            net = net_at.get(position)
+            if net is None:
+                net = netlist.add_net()
+                net_at[position] = net
+                netlist.net_positions[net] = position
+            netlist.name_net(net, f"{occurrence.prefix}/{name}", position)
+            pins.append((name, net))
+        netlist.add_device(_device_kind(occurrence), pins)
+    return netlist
+
+
+def multiplier_personality(
+    cell: CellDefinition,
+) -> Tuple[int, int, List[List[str]], List[str]]:
+    """Read the multiplier's personality grid back from the layout.
+
+    Returns ``(xsize, ysize, array_grid, cpa_row)``: the carry-save
+    grid of ``"I"``/``"II"`` cell types indexed ``[row][column]`` with
+    row 0 the *top* array row, plus the carry-propagate row's types.
+    Raises :class:`ValueError` when the placed cells do not form a full
+    rectangular grid or a cell carries no (or conflicting) type masks.
+    """
+    occurrences, mask_hits = _collect(
+        cell, ("basiccell",), ("type1", "type2")
+    )
+    _attach_masks(occurrences, mask_hits)
+    if not occurrences:
+        raise ValueError("no basiccell instances found")
+    xs = sorted({occurrence.origin[0] for occurrence in occurrences})
+    ys = sorted({occurrence.origin[1] for occurrence in occurrences})
+    column_of = {x: index for index, x in enumerate(xs)}
+    row_of = {y: index for index, y in enumerate(reversed(ys))}
+    grid: List[List[Optional[str]]] = [
+        [None] * len(xs) for _ in range(len(ys))
+    ]
+    for occurrence in occurrences:
+        types = [m for m in occurrence.masks if m in ("type1", "type2")]
+        if len(types) != 1:
+            raise ValueError(
+                f"cell at {occurrence.origin} carries {len(types)} type masks"
+            )
+        row = row_of[occurrence.origin[1]]
+        column = column_of[occurrence.origin[0]]
+        if grid[row][column] is not None:
+            raise ValueError(f"two cells at grid position {(column, row)}")
+        grid[row][column] = "II" if types[0] == "type2" else "I"
+    if any(entry is None for row in grid for entry in row):
+        raise ValueError("basiccell grid has holes")
+    xsize = len(xs)
+    ysize = len(ys) - 1  # the last row is the carry-propagate row
+    if ysize < 1:
+        raise ValueError("multiplier needs at least one carry-save row")
+    return xsize, ysize, [list(row) for row in grid[:ysize]], list(grid[ysize])

@@ -1,0 +1,506 @@
+"""Extract-once/stamp-many hierarchical verification.
+
+Mirrors the compaction pipeline's economy (PR 4): a generated array is
+a handful of *distinct* leaf-cell combinations stamped hundreds of
+times, so the expensive mask-level extraction should run once per
+distinct content, not once per instance.  The pipeline:
+
+1. **fragment collection** — walk the placed hierarchy; every
+   definition contributes its own boxes (and ports) under its world
+   transform;
+2. **tile clustering** — fragments whose bounding boxes positively
+   overlap union into a *tile* (a personalisation mask and its host
+   square are one electrical unit; abutting squares are separate
+   tiles, because abutment-only contact is resolved by stitching);
+3. **extract once** — each distinct tile content (fingerprinted with
+   the compaction cache's
+   :func:`~repro.compact.cache.fingerprint_cell` discipline, plus the
+   rule fingerprint) is extracted flat exactly once; the result — a
+   local netlist, port attachment points, and the conductor runs
+   touching the tile frame — is reused for every instance and can be
+   memoized across runs in a :class:`~repro.compact.cache.CompactionCache`;
+4. **stamp + stitch** — every tile instance stamps fresh net ids and
+   translated boundary runs; a sweep over the boundary runs unions
+   nets that share an edge of positive length across tiles, exactly
+   the flat extractor's same-layer contact rule.
+
+The result is LVS-identical to :func:`repro.verify.extract.extract_netlist`
+on the same cell (asserted by the equivalence tests); the one modelled
+restriction is that a transistor channel may not straddle a tile
+boundary — the stitch detects and rejects that geometry rather than
+mis-extracting it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compact.cache import CompactionCache, cache_key, fingerprint_cell, fingerprint_rules
+from ..compact.rules import TECH_A, DesignRules
+from ..core.cell import CellDefinition, Port
+from ..geometry import Box, Transform, Vec2
+from .extract import ExtractionError, extract_netlist
+from .netlist import SwitchNetlist
+
+__all__ = ["TileExtraction", "extract_netlist_hier"]
+
+
+class _Fragment:
+    """One definition's own geometry placed in the world."""
+
+    __slots__ = ("definition", "transform", "prefix", "bbox")
+
+    def __init__(self, definition: CellDefinition, transform: Transform, prefix: str) -> None:
+        self.definition = definition
+        self.transform = transform
+        self.prefix = prefix
+        bbox: Optional[Box] = None
+        for layer_box in definition.boxes:
+            box = transform.apply_box(layer_box.box)
+            bbox = box if bbox is None else bbox.union(box)
+        for port in definition.ports:
+            position = transform.apply(port.position)
+            point = Box(position.x, position.y, position.x, position.y)
+            bbox = point if bbox is None else bbox.union(point)
+        self.bbox = bbox
+
+
+def _collect_fragments(cell: CellDefinition) -> List[_Fragment]:
+    """Every definition with own geometry, with its world transform."""
+    fragments: List[_Fragment] = []
+
+    def walk(node: CellDefinition, transform: Transform, prefix: str) -> None:
+        if node.boxes or node.ports:
+            fragments.append(_Fragment(node, transform, prefix))
+        for index, instance in enumerate(node.instances):
+            if not instance.is_placed:
+                continue
+            tag = instance.name or f"{instance.celltype}#{index}"
+            walk(
+                instance.definition,
+                transform.compose(instance.transform),
+                f"{prefix}{tag}/",
+            )
+
+    walk(cell, Transform(), "")
+    return fragments
+
+
+def _cluster(
+    fragments: List[_Fragment], margins: Optional[List[int]] = None
+) -> List[List[int]]:
+    """Group fragment indices whose (margin-grown) bboxes overlap.
+
+    ``margins`` grows a fragment's bbox before the overlap test —
+    non-zero for fragments whose derived layers expand past their
+    drawn extent, zero otherwise so plain abutment never merges.
+    """
+    boxes: List[Optional[Box]] = [
+        None
+        if f.bbox is None
+        else (f.bbox.grown(margins[i]) if margins and margins[i] else f.bbox)
+        for i, f in enumerate(fragments)
+    ]
+    order = sorted(
+        (i for i in range(len(fragments)) if boxes[i] is not None),
+        key=lambda i: (boxes[i].xmin, boxes[i].ymin),
+    )
+    parent = list(range(len(fragments)))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    active: List[int] = []
+    for index in order:
+        box = boxes[index]
+        active = [j for j in active if boxes[j].xmax > box.xmin]
+        for j in active:
+            if box.overlaps_open(boxes[j]):
+                ra, rb = find(index), find(j)
+                if ra != rb:
+                    parent[rb] = ra
+        active.append(index)
+    groups: Dict[int, List[int]] = {}
+    for index in order:
+        groups.setdefault(find(index), []).append(index)
+    return [sorted(group) for group in groups.values()]
+
+
+class TileExtraction:
+    """The reusable extraction of one distinct tile content.
+
+    ``netlist`` is the tile-local, unfinalised netlist; ``port_nets``
+    maps the k-th tile port (member order, then port order) to its
+    local net (or None when the port missed all conductors); ``runs``
+    lists every conductor run as ``(layer, box, local net)`` in
+    tile-local coordinates — channels as ``("channel", box, -1)`` —
+    with ``boundary`` the subset touching the tile frame; ``bbox`` is
+    the *physical* extent (derived layers expanded), which is what the
+    frame is measured against.
+    """
+
+    __slots__ = ("netlist", "port_nets", "runs", "boundary", "bbox")
+
+    def __init__(
+        self,
+        netlist: SwitchNetlist,
+        port_nets: List[Optional[int]],
+        runs: List[Tuple[str, Box, int]],
+        boundary: List[Tuple[str, Box, int]],
+        bbox: Optional[Box],
+    ) -> None:
+        self.netlist = netlist
+        self.port_nets = port_nets
+        self.runs = runs
+        self.boundary = boundary
+        self.bbox = bbox
+
+
+def _tile_ports(
+    fragments: List[_Fragment], members: Sequence[int], origin: Vec2
+) -> List[Tuple[str, str, Vec2]]:
+    """(full name, layer, tile-local position) of every member port."""
+    ports: List[Tuple[str, str, Vec2]] = []
+    for member in members:
+        fragment = fragments[member]
+        for port in fragment.definition.ports:
+            position = fragment.transform.apply(port.position) - origin
+            ports.append((fragment.prefix + port.name, port.layer, position))
+    return ports
+
+
+def _extract_tile(
+    fragments: List[_Fragment], members: Sequence[int], origin: Vec2, rules: DesignRules
+) -> TileExtraction:
+    """Flat-extract one tile's content in tile-local coordinates."""
+    from ..compact.layers import expand_layout
+
+    layers: Dict[str, List[Box]] = {}
+    for member in members:
+        fragment = fragments[member]
+        offset = Vec2(-origin.x, -origin.y)
+        for layer_box in fragment.definition.boxes:
+            box = fragment.transform.apply_box(layer_box.box).translated(offset)
+            layers.setdefault(layer_box.layer, []).append(box)
+    physical = expand_layout(layers, rules)
+    # The frame must be measured against the *expanded* extent: derived
+    # gate/contact geometry reaches past the drawn boxes, and a run on
+    # that overhang still participates in cross-tile stitching.
+    bbox: Optional[Box] = None
+    for boxes in physical.values():
+        for box in boxes:
+            bbox = box if bbox is None else bbox.union(box)
+    synthetic = [
+        Port(f"p{index}", position, layer)
+        for index, (_, layer, position) in enumerate(
+            _tile_ports(fragments, members, origin)
+        )
+    ]
+    geometry: List[Tuple[str, Box, int]] = []
+    netlist = extract_netlist(
+        None, rules, layers=physical, ports=synthetic,
+        geometry=geometry, finalise=False,
+    )
+    port_nets: List[Optional[int]] = [
+        netlist.find_net(f"p{index}") for index in range(len(synthetic))
+    ]
+    # Synthetic names served their purpose; drop them so stamping can
+    # attach the real hierarchical names cleanly.
+    for names in netlist.net_names:
+        names.difference_update({f"p{i}" for i in range(len(synthetic))})
+    netlist.net_positions.clear()
+    boundary = [
+        (layer, box, net)
+        for layer, box, net in geometry
+        if bbox is not None
+        and (
+            box.xmin == bbox.xmin
+            or box.xmax == bbox.xmax
+            or box.ymin == bbox.ymin
+            or box.ymax == bbox.ymax
+        )
+    ]
+    return TileExtraction(netlist, port_nets, geometry, boundary, bbox)
+
+
+def _tuple_runs_touch(a: Tuple[int, int, int, int], b: Tuple[int, int, int, int]) -> bool:
+    """Edge contact of positive length (the flat extractor's rule)."""
+    x_overlap = min(a[2], b[2]) - max(a[0], b[0])
+    y_overlap = min(a[3], b[3]) - max(a[1], b[1])
+    return (x_overlap > 0 and y_overlap >= 0) or (x_overlap >= 0 and y_overlap > 0)
+
+
+def extract_netlist_hier(
+    cell: CellDefinition,
+    rules: Optional[DesignRules] = None,
+    cache: Optional[CompactionCache] = None,
+) -> SwitchNetlist:
+    """Hierarchically extract ``cell``: one extraction per distinct tile.
+
+    LVS-equivalent to the flat extractor on every supported layout; a
+    :class:`~repro.compact.cache.CompactionCache` makes re-verification
+    of unchanged designs near-free, in memory and (with a cache
+    directory) across runs.
+    """
+    rules = rules or TECH_A
+    rules_key = fingerprint_rules(rules)
+    all_fragments = _collect_fragments(cell)
+    fragments = [f for f in all_fragments if f.definition.boxes]
+    # Ports of box-less definitions (annotations on a composite root)
+    # have no tile of their own; they attach to whatever conductor run
+    # they land on after stamping.
+    orphan_ports: List[Tuple[str, str, Vec2]] = [
+        (fragment.prefix + port.name, port.layer, fragment.transform.apply(port.position))
+        for fragment in all_fragments
+        if not fragment.definition.boxes
+        for port in fragment.definition.ports
+    ]
+    # Derived layers expand past their drawn boxes (gate grows diff and
+    # widens poly, contact centres a cut grid that can overhang), so a
+    # fragment carrying them must cluster with anything its *expanded*
+    # geometry could reach — grow its bbox by the worst-case margin.
+    # Plain fragments keep their exact bbox, so abutting tiles stay
+    # separate and the tiling (and its economy) is unchanged.
+    derived_margin = max(
+        rules.gate_width or rules.width("poly"),
+        rules.contact.cut_size,
+        1,
+    )
+    margins = [
+        derived_margin
+        if any(b.layer in ("gate", "contact") for b in f.definition.boxes)
+        else 0
+        for f in fragments
+    ]
+    clusters = _cluster(fragments, margins)
+
+    definition_fp: Dict[int, str] = {}
+
+    def fingerprint(definition: CellDefinition) -> str:
+        known = definition_fp.get(id(definition))
+        if known is None:
+            shallow = CellDefinition(definition.name)
+            shallow.boxes = definition.boxes
+            shallow.ports = definition.ports
+            known = fingerprint_cell(shallow)
+            definition_fp[id(definition)] = known
+        return known
+
+    tiles: Dict[str, TileExtraction] = {}
+    result = SwitchNetlist()
+    stamped_boundary: List[Tuple[str, Box, int, int]] = []
+    channel_boundary: List[Tuple[Box, int]] = []
+    #: (world bbox, origin, net base, tile) per stamped instance
+    stamped: List[Tuple[Optional[Box], Vec2, int, TileExtraction]] = []
+
+    for tile_index, members in enumerate(clusters):
+        origin_x = min(fragments[m].bbox.xmin for m in members)
+        origin_y = min(fragments[m].bbox.ymin for m in members)
+        origin = Vec2(origin_x, origin_y)
+        key = cache_key(
+            "verify-tile-v2",
+            rules_key,
+            tuple(
+                (
+                    fingerprint(fragments[m].definition),
+                    fragments[m].transform.orientation.r,
+                    fragments[m].transform.orientation.k,
+                    fragments[m].transform.offset.x - origin_x,
+                    fragments[m].transform.offset.y - origin_y,
+                )
+                for m in members
+            ),
+        )
+        tile = tiles.get(key)
+        if tile is None and cache is not None:
+            tile = cache.get(key)
+            if tile is not None:
+                tiles[key] = tile
+        if tile is None:
+            tile = _extract_tile(fragments, members, origin, rules)
+            tiles[key] = tile
+            if cache is not None:
+                cache.put(key, tile)
+
+        base = result.num_nets
+        for names in tile.netlist.net_names:
+            net = result.add_net()
+            result.net_names[net].update(names)
+        for device in tile.netlist.devices:
+            result.add_device(
+                device.kind, [(role, base + net) for role, net in device.pins]
+            )
+        for (name, _, position), local in zip(
+            _tile_ports(fragments, members, origin), tile.port_nets
+        ):
+            if local is not None:
+                world = (position.x + origin.x, position.y + origin.y)
+                result.name_net(base + local, name, world)
+        offset = Vec2(origin.x, origin.y)
+        dx, dy = origin.x, origin.y
+        for layer, box, net in tile.boundary:
+            coords = (box.xmin + dx, box.ymin + dy, box.xmax + dx, box.ymax + dy)
+            if layer == "channel":
+                channel_boundary.append((coords, tile_index))
+            else:
+                stamped_boundary.append((layer, coords, base + net, tile_index))
+        world_bbox = (
+            tile.bbox.translated(offset) if tile.bbox is not None else None
+        )
+        stamped.append((world_bbox, offset, base, tile))
+
+    # Tiles whose physical extents overlap (an L-shaped cluster with a
+    # neighbour in its notch) can touch at edges *interior* to a frame;
+    # feed their complete run sets into the stitch so no contact is
+    # missed.  Disjoint grids — every generated array — pay nothing.
+    overlapping = set()
+    by_x = sorted(
+        (i for i in range(len(stamped)) if stamped[i][0] is not None),
+        key=lambda i: stamped[i][0].xmin,
+    )
+    live: List[int] = []
+    for index in by_x:
+        box = stamped[index][0]
+        live = [j for j in live if stamped[j][0].xmax > box.xmin]
+        for j in live:
+            if box.overlaps_open(stamped[j][0]):
+                overlapping.add(index)
+                overlapping.add(j)
+        live.append(index)
+    for tile_index in sorted(overlapping):
+        _, offset, base, tile = stamped[tile_index]
+        boundary_set = set(tile.boundary)
+        dx, dy = offset.x, offset.y
+        for item in tile.runs:
+            if item in boundary_set:
+                continue
+            layer, box, net = item
+            coords = (box.xmin + dx, box.ymin + dy, box.xmax + dx, box.ymax + dy)
+            if layer == "channel":
+                channel_boundary.append((coords, tile_index))
+            else:
+                stamped_boundary.append((layer, coords, base + net, tile_index))
+
+    # Orphan ports attach through the tile containing them — interior
+    # conductors included, exactly as the flat extractor would.
+    for name, layer, position in orphan_ports:
+        attached = False
+        for world_bbox, offset, base, tile in stamped:
+            if world_bbox is None or not (
+                world_bbox.xmin <= position.x <= world_bbox.xmax
+                and world_bbox.ymin <= position.y <= world_bbox.ymax
+            ):
+                continue
+            local_x, local_y = position.x - offset.x, position.y - offset.y
+            for run_layer, box, net in tile.runs:
+                if run_layer == "channel" or (layer and run_layer != layer):
+                    continue
+                if (
+                    box.xmin <= local_x <= box.xmax
+                    and box.ymin <= local_y <= box.ymax
+                ):
+                    result.name_net(base + net, name, (position.x, position.y))
+                    attached = True
+                    break
+            if attached:
+                break
+
+    _stitch(result, stamped_boundary, channel_boundary)
+    result.merge_global_names()
+    result.classify_rails()
+    result.prune_floating()
+    return result
+
+
+def _stitch(
+    result: SwitchNetlist,
+    boundary: List[Tuple[str, Tuple[int, int, int, int], int, int]],
+    channels: List[Tuple[Tuple[int, int, int, int], int]],
+) -> None:
+    """Union nets whose boundary runs meet edge-on across tiles.
+
+    Tiles are pairwise disjoint, so cross-tile electrical contact is
+    always *edge* contact: two runs sharing an edge coordinate with
+    positive overlap along it.  Runs are bucketed by ``(layer, edge
+    coordinate)`` per side and opposite sides merge-scanned as sorted
+    interval lists — ``O(n log n)`` against the quadratic plane sweep
+    this replaces (same-tile contacts were already unioned during tile
+    extraction, so skipping them loses nothing).
+    """
+    parent = list(range(result.num_nets))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    tops: Dict[Tuple[str, int], List[Tuple[int, int, int]]] = {}
+    bottoms: Dict[Tuple[str, int], List[Tuple[int, int, int]]] = {}
+    rights: Dict[Tuple[str, int], List[Tuple[int, int, int]]] = {}
+    lefts: Dict[Tuple[str, int], List[Tuple[int, int, int]]] = {}
+    for layer, (x0, y0, x1, y1), net, _ in boundary:
+        tops.setdefault((layer, y1), []).append((x0, x1, net))
+        bottoms.setdefault((layer, y0), []).append((x0, x1, net))
+        rights.setdefault((layer, x1), []).append((y0, y1, net))
+        lefts.setdefault((layer, x0), []).append((y0, y1, net))
+
+    def scan(a_side: Dict, b_side: Dict) -> None:
+        for key, a_runs in a_side.items():
+            b_runs = b_side.get(key)
+            if not b_runs:
+                continue
+            a_runs.sort()
+            b_runs.sort()
+            j = 0
+            for lo, hi, net in a_runs:
+                while j and b_runs[j - 1][1] > lo:
+                    j -= 1
+                k = j
+                while k < len(b_runs) and b_runs[k][0] < hi:
+                    if min(hi, b_runs[k][1]) > max(lo, b_runs[k][0]):
+                        ra, rb = find(net), find(b_runs[k][2])
+                        if ra != rb:
+                            parent[rb] = ra
+                    k += 1
+                while j < len(b_runs) and b_runs[j][1] <= lo:
+                    j += 1
+
+    scan(tops, bottoms)
+    scan(rights, lefts)
+    # Channel straddle check: a channel touching *another tile's*
+    # diffusion or channel across the frame would extract differently
+    # flat; refuse rather than silently diverge.  Edge-bucketed like
+    # the stitch itself: only runs sharing an edge coordinate with the
+    # channel are candidates.
+    diff_edges: Dict[Tuple[str, int], List[Tuple[int, int, int]]] = {}
+    for layer, (x0, y0, x1, y1), _, tile in boundary:
+        if layer != "diff":
+            continue
+        for edge in (y0, y1):
+            diff_edges.setdefault(("y", edge), []).append((x0, x1, tile))
+        for edge in (x0, x1):
+            diff_edges.setdefault(("x", edge), []).append((y0, y1, tile))
+    for channel, tile in channels:
+        cx0, cy0, cx1, cy1 = channel
+        for side_key, edges, along in (
+            ("y", (cy0, cy1), (cx0, cx1)),
+            ("x", (cx0, cx1), (cy0, cy1)),
+        ):
+            for edge in edges:
+                for lo, hi, other_tile in diff_edges.get((side_key, edge), ()):
+                    if other_tile != tile and min(hi, along[1]) > max(lo, along[0]):
+                        raise ExtractionError(
+                            "transistor channel straddles a tile boundary;"
+                            " hierarchical extraction cannot stitch devices"
+                        )
+        for other, other_tile in channels:
+            if other_tile != tile and _tuple_runs_touch(channel, other):
+                raise ExtractionError(
+                    "transistor channel straddles a tile boundary;"
+                    " hierarchical extraction cannot stitch devices"
+                )
+    result.remap({net: find(net) for net in range(result.num_nets)})

@@ -1,0 +1,170 @@
+"""Layout-versus-schematic: canonical-form netlist comparison.
+
+Compares two :class:`~repro.verify.netlist.SwitchNetlist` graphs by
+iterated neighbourhood refinement (the classic LVS canonicalization, a
+Weisfeiler-Leman colouring over the bipartite net/device graph):
+
+1. seed net colours from their electrical role — VDD, GND, the k-th
+   primary input, the k-th primary output, ordinary internal net —
+   and device colours from their kind;
+2. repeatedly rehash every device over ``(kind, sorted multiset of
+   (pin role, neighbour colour))`` and every net over its sorted
+   multiset of ``(device colour, pin role)`` incidences, until the
+   partition stops refining;
+3. the netlists match when the final colour multisets (nets and
+   devices) coincide.
+
+Colours are rolled through a content hash so they stay fixed-size and
+are comparable *between* netlists.  Pins sharing a role are compared
+as multisets, so a transistor's interchangeable source/drain never
+produce a spurious mismatch, while gate-versus-channel swaps always
+do.  Refinement cannot distinguish certain pathological automorphic
+graphs, but any local edit — a device added, dropped, retyped or
+rewired — changes a colour and is caught; :class:`LvsReport` explains
+mismatches as class-population differences.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from typing import List, Tuple
+
+from .netlist import SwitchNetlist
+
+__all__ = ["LvsReport", "compare_netlists"]
+
+
+class LvsReport:
+    """Outcome of one LVS comparison."""
+
+    def __init__(self) -> None:
+        self.matched = False
+        #: human-readable mismatch descriptions (empty when matched)
+        self.mismatches: List[str] = []
+        self.net_counts: Tuple[int, int] = (0, 0)
+        self.device_counts: Tuple[int, int] = (0, 0)
+        self.rounds = 0
+
+    def summary(self) -> str:
+        """One printable line of the comparison outcome."""
+        verdict = "match" if self.matched else "MISMATCH"
+        detail = (
+            f"{self.net_counts[0]}/{self.net_counts[1]} nets,"
+            f" {self.device_counts[0]}/{self.device_counts[1]} devices,"
+            f" {self.rounds} refinement rounds"
+        )
+        if self.mismatches:
+            detail += "; " + "; ".join(self.mismatches[:3])
+        return f"LVS {verdict} ({detail})"
+
+    def __repr__(self) -> str:
+        return f"LvsReport(matched={self.matched})"
+
+
+def _digest(value: object) -> str:
+    """Stable fixed-size colour from any repr-able value."""
+    return hashlib.sha256(repr(value).encode("utf-8")).hexdigest()[:16]
+
+
+def _refine(netlist: SwitchNetlist) -> Tuple[Counter, Counter, int]:
+    """Stable (net-colour multiset, device-colour multiset, rounds)."""
+    input_rank = {net: k for k, net in enumerate(netlist.inputs)}
+    output_rank = {net: k for k, net in enumerate(netlist.outputs)}
+    net_colour = [
+        _digest(
+            (
+                "seed",
+                net in netlist.vdd_nets,
+                net in netlist.gnd_nets,
+                input_rank.get(net, -1),
+                output_rank.get(net, -1),
+            )
+        )
+        for net in range(netlist.num_nets)
+    ]
+    device_colour = [_digest(("seed", d.kind)) for d in netlist.devices]
+    incident: List[List[Tuple[int, str]]] = [[] for _ in range(netlist.num_nets)]
+    for index, device in enumerate(netlist.devices):
+        for role, net in device.pins:
+            incident[net].append((index, role))
+
+    classes = len(set(net_colour)) + len(set(device_colour))
+    rounds = 0
+    limit = netlist.num_nets + len(netlist.devices) + 2
+    while rounds < limit:
+        rounds += 1
+        device_colour = [
+            _digest(
+                (
+                    device.kind,
+                    tuple(sorted((role, net_colour[net]) for role, net in device.pins)),
+                )
+            )
+            for device in netlist.devices
+        ]
+        net_colour = [
+            _digest(
+                (
+                    net_colour[net],
+                    tuple(sorted((device_colour[i], role) for i, role in incident[net])),
+                )
+            )
+            for net in range(netlist.num_nets)
+        ]
+        refined = len(set(net_colour)) + len(set(device_colour))
+        if refined == classes:
+            break
+        classes = refined
+    return Counter(net_colour), Counter(device_colour), rounds
+
+
+def compare_netlists(
+    extracted: SwitchNetlist, golden: SwitchNetlist
+) -> LvsReport:
+    """Compare two netlists up to canonical form; returns a report.
+
+    Primary inputs/outputs are matched by *order* (the k-th input of
+    one side pairs with the k-th of the other), rails by role; internal
+    nets need no correspondence — refinement finds it or proves there
+    is none.
+    """
+    report = LvsReport()
+    report.net_counts = (extracted.num_nets, golden.num_nets)
+    report.device_counts = (len(extracted.devices), len(golden.devices))
+    if len(extracted.inputs) != len(golden.inputs):
+        report.mismatches.append(
+            f"input count {len(extracted.inputs)} != {len(golden.inputs)}"
+        )
+    if len(extracted.outputs) != len(golden.outputs):
+        report.mismatches.append(
+            f"output count {len(extracted.outputs)} != {len(golden.outputs)}"
+        )
+    kinds_a = Counter(device.kind for device in extracted.devices)
+    kinds_b = Counter(device.kind for device in golden.devices)
+    if kinds_a != kinds_b:
+        for kind in sorted(set(kinds_a) | set(kinds_b)):
+            if kinds_a.get(kind, 0) != kinds_b.get(kind, 0):
+                report.mismatches.append(
+                    f"{kind} count {kinds_a.get(kind, 0)} != {kinds_b.get(kind, 0)}"
+                )
+    if report.mismatches:
+        return report
+
+    nets_a, devices_a, rounds_a = _refine(extracted)
+    nets_b, devices_b, rounds_b = _refine(golden)
+    report.rounds = max(rounds_a, rounds_b)
+    if devices_a != devices_b:
+        difference = (devices_a - devices_b) + (devices_b - devices_a)
+        report.mismatches.append(
+            f"{sum(difference.values())} device(s) in unmatched"
+            " neighbourhood classes"
+        )
+    if nets_a != nets_b:
+        difference = (nets_a - nets_b) + (nets_b - nets_a)
+        report.mismatches.append(
+            f"{sum(difference.values())} net(s) in unmatched"
+            " neighbourhood classes"
+        )
+    report.matched = not report.mismatches
+    return report

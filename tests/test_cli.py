@@ -332,3 +332,94 @@ class TestRouteFlags:
         parameter, netfile, _ = route_files
         with pytest.raises(RsgError, match="unknown technology"):
             run_flow(str(parameter), route_path=str(netfile), technology="C")
+
+
+class TestVersionFlag:
+    def test_version_prints_package_metadata(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out
+        assert "repro" in out
+
+    def test_version_matches_metadata_when_installed(self):
+        """Deployed copies answer from importlib.metadata; the source
+        checkout falls back to the pyproject default."""
+        import repro
+
+        try:
+            from importlib.metadata import version
+            expected = version("repro-rsg")
+        except Exception:
+            expected = "1.0.0"
+        assert repro.__version__ == expected
+
+
+class TestVerifyFlags:
+    def test_verify_all_on_multiplier_flow(self, flow_files, capsys):
+        parameter, _ = flow_files
+        assert main([str(parameter), "--verify", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "verify thewholething (multiplier)" in out
+        assert "result: PASS" in out
+        assert "LVS match" in out
+
+    def test_verify_lvs_only(self, flow_files, capsys):
+        parameter, _ = flow_files
+        assert main([str(parameter), "--verify", "lvs"]) == 0
+        out = capsys.readouterr().out
+        assert "LVS match" in out
+        assert "simulation:" not in out
+
+    def test_verify_sim_vectors_cap(self, flow_files, capsys):
+        parameter, _ = flow_files
+        assert main([str(parameter), "--verify", "sim", "--sim-vectors", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "16 vectors (sampled)" in out
+
+    def test_sim_vectors_without_verify_rejected(self, flow_files, capsys):
+        parameter, _ = flow_files
+        with pytest.raises(SystemExit):
+            main([str(parameter), "--sim-vectors", "8"])
+        assert "--verify" in capsys.readouterr().err
+
+    def test_verify_routed_composite_round_trips(self, route_files, capsys):
+        parameter, netfile, _ = route_files
+        assert main(
+            [str(parameter), "--route", str(netfile), "--verify", "all"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "routed composite" in out
+        assert "0 mismatches" in out
+
+    def test_verify_failure_exits_nonzero(self, flow_files, capsys, monkeypatch):
+        """A failing check must surface as a non-zero exit."""
+        from repro.verify.driver import VerificationReport
+
+        def broken(cell, **kwargs):
+            report = VerificationReport(cell.name, "all")
+            report.failures.append("injected failure")
+            return report
+
+        import repro.cli as cli_module
+        import repro.verify as verify_module
+
+        monkeypatch.setattr(verify_module, "verify_cell", broken)
+        parameter, _ = flow_files
+        assert main([str(parameter), "--verify", "all"]) == 1
+        assert "verification failed" in capsys.readouterr().err
+
+    def test_bad_verify_mode_via_run_flow(self, flow_files):
+        parameter, _ = flow_files
+        with pytest.raises(RsgError, match="--verify takes"):
+            run_flow(str(parameter), verify_mode="everything")
+
+    def test_sim_vectors_with_route_rejected(self, route_files, capsys):
+        parameter, netfile, _ = route_files
+        with pytest.raises(SystemExit):
+            main([str(parameter), "--route", str(netfile), "--verify", "all",
+                  "--sim-vectors", "8"])
+        assert "round-trip" in capsys.readouterr().err
