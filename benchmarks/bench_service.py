@@ -1,0 +1,99 @@
+"""E-SERVICE — the layout service: cold, warm, and deduplicated latency.
+
+Three workloads against a real in-process daemon (ephemeral port, real
+worker processes, shared store) measuring what the service exists to
+provide:
+
+* **cold** — first submission of a generate+compact job: the full
+  pipeline runs in a worker.  Row ``service_cold``.
+* **warm** — resubmission of the identical spec: answered straight
+  from the artifact store, no worker dispatched.  Row ``service_warm``.
+  The CI guard — enforced in smoke mode too, it is the service's
+  headline property — asserts warm is >= 5x faster than cold.
+* **dedup fan-in** — 8 concurrent identical submissions of a fresh
+  spec: exactly one pipeline execution serves all 8 callers.  Row
+  ``service_dedup8`` records the whole fan-in wall time; the measured
+  dedup factor is asserted, not just reported.
+
+Timing rows land in ``BENCH_compaction.json`` via the ``record``
+fixture.  Set ``REPRO_BENCH_SMOKE=1`` for the small multiplier size.
+"""
+
+import os
+import threading
+import time
+
+from conftest import best_time
+
+from repro.service import JobSpec, LayoutServer, ServiceClient
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SIZE = 2 if SMOKE else 3
+
+
+def multiplier_spec(tag, size=SIZE):
+    """A real generate+compact job; ``tag`` makes specs distinct."""
+    return JobSpec(
+        kind="multiplier",
+        parameters=f"xsize={size}\nysize={size}\ntag={tag}\n",
+        compact="hier",
+    )
+
+
+def test_service_cold_warm_and_dedup(tmp_path, report, record):
+    with LayoutServer(str(tmp_path / "service"), port=0, workers=4) as server:
+        client = ServiceClient(server.url)
+
+        # cold: first submission pays the whole pipeline
+        started = time.perf_counter()
+        job = client.submit(multiplier_spec("cold"))["job"]
+        client.wait(job, timeout=600.0)
+        cold_s = time.perf_counter() - started
+        record("service_cold", SIZE, cold_s)
+
+        # warm: the same content answers from the store, no worker
+        def warm():
+            again = client.submit(multiplier_spec("cold"))
+            assert again["state"] == "done" and again["deduplicated"]
+            client.result(again["job"])
+
+        warm_s = best_time(warm, repeats=3)
+        record("service_warm", SIZE, warm_s)
+
+        # dedup fan-in: 8 concurrent identical submissions, 1 execution
+        fresh = multiplier_spec("dedup")
+        receipts = []
+        lock = threading.Lock()
+
+        def submit():
+            receipt = client.submit(fresh)
+            with lock:
+                receipts.append(receipt)
+
+        started = time.perf_counter()
+        threads = [threading.Thread(target=submit) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        fingerprint = receipts[0]["job"]
+        client.wait(fingerprint, timeout=600.0)
+        dedup_s = time.perf_counter() - started
+        record("service_dedup8", SIZE, dedup_s)
+
+        status = client.status(fingerprint)
+        assert status["executions"] == 1, status
+        assert status["submissions"] == 8, status
+        dedup_factor = status["submissions"] / status["executions"]
+
+    ratio = cold_s / warm_s
+    report(
+        f"E-SERVICE multiplier {SIZE}x{SIZE}:"
+        f" cold {cold_s * 1000:8.1f} ms, warm {warm_s * 1000:8.1f} ms"
+        f" ({ratio:.0f}x), 8-way fan-in {dedup_s * 1000:8.1f} ms"
+        f" (dedup factor {dedup_factor:.0f})"
+    )
+    # The headline property holds at every size, smoke included: a
+    # warm answer is a store read, not a pipeline run.
+    assert ratio >= 5.0, f"warm resubmit only {ratio:.1f}x faster than cold"
+    assert dedup_factor == 8.0

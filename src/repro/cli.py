@@ -20,7 +20,20 @@ Usage::
     python -m repro parameters.par --compact hier --jobs 4 --cache-dir .rsgcache
     python -m repro parameters.par --route wires.net --router channel
     python -m repro parameters.par --verify all --sim-vectors 256
+    python -m repro serve --root .repro-service --workers 4
+    python -m repro submit parameters.par --url http://127.0.0.1:8737 --wait
     python -m repro --version
+
+The ``serve`` and ``submit`` verbs are the layout-as-a-service front
+door (:mod:`repro.service`): ``serve`` runs the job-queue daemon with
+its shared artifact store, ``submit`` sends the same parameter file to
+a running daemon instead of generating locally.
+
+Every failure mode exits with a family-specific code and a one-line
+diagnostic on stderr (no raw tracebacks): 1 generic, 2 usage (argparse),
+3 parse errors in design/parameter files, 4 verification failures,
+5 filesystem/OS errors, 6 service errors, 70 internal errors (set
+``REPRO_DEBUG=1`` to re-raise those with the full traceback).
 
 ``--compact`` runs the chapter-6 flat compactor over the generated cell
 before it is written (``x``/``y``/``xy``/``yx``), or — with ``hier`` —
@@ -45,6 +58,7 @@ bounding the vector count; a failed check exits non-zero.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -57,7 +71,12 @@ from .compact import (
     compact_cell,
 )
 from .core.cell import CellDefinition
-from .core.errors import RsgError
+from .core.errors import (
+    LanguageError,
+    RsgError,
+    ServiceError,
+    VerificationError,
+)
 from .core.operators import Rsg
 from .lang.interpreter import Interpreter
 from .lang.param_file import parse_parameters
@@ -65,7 +84,58 @@ from .layout.cif import write_cif
 from .layout.render import ascii_render, svg_render
 from .layout.sample import load_sample
 
-__all__ = ["main", "run_flow"]
+__all__ = ["main", "run_flow", "exit_code_for"]
+
+# Exit-code families: every failure mode maps to a stable, distinct
+# code (tested in tests/test_cli.py) so scripts and CI can branch on
+# *why* a run failed, not just that it did.
+EXIT_ERROR = 1       #: generic RsgError (bad inputs, unknown tech, ...)
+EXIT_USAGE = 2       #: argparse usage errors (argparse's own constant)
+EXIT_PARSE = 3       #: syntax errors in design/parameter/net files
+EXIT_VERIFY = 4      #: the layout generated but failed verification
+EXIT_IO = 5          #: filesystem/OS errors (missing or unwritable files)
+EXIT_SERVICE = 6     #: bad or unserviceable layout-service requests
+EXIT_INTERNAL = 70   #: unexpected exceptions (os.EX_SOFTWARE)
+
+
+def exit_code_for(error: BaseException) -> int:
+    """The exit-code family for ``error`` (see the module docstring).
+
+    Order matters: the most specific families are checked first, so a
+    :class:`~repro.core.errors.ParseError` (a ``LanguageError`` and an
+    ``RsgError``) maps to :data:`EXIT_PARSE`, not :data:`EXIT_ERROR`.
+    """
+    if isinstance(error, LanguageError):
+        return EXIT_PARSE
+    if isinstance(error, VerificationError):
+        return EXIT_VERIFY
+    if isinstance(error, ServiceError):
+        return EXIT_SERVICE
+    if isinstance(error, RsgError):
+        return EXIT_ERROR
+    if isinstance(error, OSError):
+        return EXIT_IO
+    return EXIT_INTERNAL
+
+
+def _report_error(error: BaseException) -> int:
+    """One-line stderr diagnostic plus the family exit code.
+
+    Raw tracebacks never reach the user; ``REPRO_DEBUG=1`` re-raises
+    unexpected errors for debugging.
+    """
+    code = exit_code_for(error)
+    if code == EXIT_INTERNAL:
+        if os.environ.get("REPRO_DEBUG"):
+            raise error
+        print(
+            f"internal error: {type(error).__name__}: {error}"
+            " (set REPRO_DEBUG=1 for the traceback)",
+            file=sys.stderr,
+        )
+    else:
+        print(f"error: {error}", file=sys.stderr)
+    return code
 
 
 def run_flow(
@@ -217,7 +287,7 @@ def _verify_flow_cell(
                 f" {len(mismatches)} mismatches", file=output_stream,
             )
         if mismatches:
-            raise RsgError(
+            raise VerificationError(
                 "verification failed: " + "; ".join(mismatches[:3])
             )
         return
@@ -235,7 +305,7 @@ def _verify_flow_cell(
     if output_stream is not None:
         print(report.summary(), file=output_stream)
     if not report.ok:
-        raise RsgError(f"verification failed for {cell.name!r}")
+        raise VerificationError(f"verification failed for {cell.name!r}")
 
 
 def _compact_flow_cell(
@@ -299,10 +369,28 @@ def _compact_flow_cell(
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: the batch flow plus the service verbs."""
+    arguments_list = list(sys.argv[1:] if argv is None else argv)
+    if arguments_list and arguments_list[0] in ("serve", "submit"):
+        verb, rest = arguments_list[0], arguments_list[1:]
+        try:
+            if verb == "serve":
+                from .service.server import serve_main
+
+                return serve_main(rest)
+            from .service.client import submit_main
+
+            return submit_main(rest)
+        except KeyboardInterrupt:
+            return EXIT_ERROR
+        except Exception as error:  # noqa: BLE001 — mapped to exit families
+            return _report_error(error)
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regular Structure Generator: design file + sample"
-        " layout + parameter file -> layout",
+        " layout + parameter file -> layout.  The 'serve' and 'submit'"
+        " verbs talk to the layout service instead (see 'repro serve"
+        " --help' / 'repro submit --help').",
     )
     from . import __version__
 
@@ -387,7 +475,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         " (exhaustive up to N, seeded random sampling beyond;"
         " default: 4096)",
     )
-    arguments = parser.parse_args(argv)
+    arguments = parser.parse_args(arguments_list)
     if not arguments.compact and not arguments.route and (
         arguments.solver or arguments.tech
     ):
@@ -431,9 +519,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             verify_mode=arguments.verify,
             sim_vectors=arguments.sim_vectors,
         )
-    except (RsgError, OSError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+    except Exception as error:  # noqa: BLE001 — mapped to exit families
+        return _report_error(error)
     print(
         f"generated cell {cell.name!r}:"
         f" {cell.count_instances(recursive=True)} instances"

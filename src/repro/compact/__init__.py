@@ -1,6 +1,7 @@
 """The leaf-cell compaction study (chapter 6)."""
 
 from .cache import (
+    CacheStats,
     CompactionCache,
     cache_key,
     fingerprint_cell,
@@ -42,6 +43,7 @@ from .solvers import (
 )
 
 __all__ = [
+    "CacheStats",
     "CompactionCache",
     "cache_key",
     "fingerprint_cell",

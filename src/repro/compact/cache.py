@@ -33,6 +33,8 @@ import copy
 import hashlib
 import os
 import pickle
+import time
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -40,6 +42,7 @@ from ..core.cell import CellDefinition
 from .rules import DesignRules
 
 __all__ = [
+    "CacheStats",
     "CompactionCache",
     "cache_key",
     "fingerprint_cell",
@@ -143,14 +146,63 @@ def fingerprint_layout(layout) -> str:
     return cache_key(*parts)
 
 
+@dataclass
+class CacheStats:
+    """Counters for one :class:`CompactionCache` instance.
+
+    ``hits`` counts every successful lookup (``disk_hits`` of which were
+    promoted from the on-disk store), ``misses`` every lookup that found
+    nothing, and the byte counters measure on-disk traffic — what the
+    service ``/stats`` endpoint aggregates fleet-wide.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups seen (hits plus misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another instance's counters into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.disk_hits += other.disk_hits
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict form for JSON reports (counters only)."""
+        return asdict(self)
+
+
+#: a lock file untouched for this long belongs to a dead writer
+_STALE_LOCK_SECONDS = 30.0
+
+
 class CompactionCache:
     """In-memory (and optionally on-disk) store of compaction results.
 
     ``directory`` enables cross-run reuse: every entry is additionally
     pickled to ``<directory>/<key>.pkl`` and lookups fall back to disk
     on an in-memory miss, so a fresh process warm-starts from a previous
-    run's results.  Hit/miss counters make the reuse observable (the
-    CLI prints them).
+    run's results.  The on-disk store is safe for concurrent
+    multi-process use (the layout service shares one directory across
+    its whole worker fleet): writes are guarded by a per-entry
+    ``O_EXCL`` lock file on top of the atomic rename, and a torn or
+    unreadable entry reads as a miss, never an error.  A
+    :class:`CacheStats` instance (``cache_stats``) makes the reuse
+    observable; the legacy ``hits``/``misses``/``disk_hits`` attributes
+    remain as read-only views of it.
     """
 
     def __init__(self, directory: Optional[str] = None) -> None:
@@ -158,12 +210,25 @@ class CompactionCache:
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._memory: Dict[str, Any] = {}
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
+        self.cache_stats = CacheStats()
 
     def __len__(self) -> int:
         return len(self._memory)
+
+    @property
+    def hits(self) -> int:
+        """Successful lookups so far (see :attr:`cache_stats`)."""
+        return self.cache_stats.hits
+
+    @property
+    def misses(self) -> int:
+        """Empty lookups so far (see :attr:`cache_stats`)."""
+        return self.cache_stats.misses
+
+    @property
+    def disk_hits(self) -> int:
+        """Hits promoted from the on-disk store (see :attr:`cache_stats`)."""
+        return self.cache_stats.disk_hits
 
     def _path(self, key: str) -> Path:
         assert self.directory is not None
@@ -174,7 +239,8 @@ class CompactionCache:
 
         Checks memory first, then the on-disk store; a disk hit is
         promoted into memory.  Unreadable disk entries (partial writes,
-        version skew) count as misses rather than errors.
+        version skew, a concurrent delete) count as misses rather than
+        errors.
         """
         value = self.peek(key)
         return copy.deepcopy(value) if value is not None else None
@@ -188,36 +254,87 @@ class CompactionCache:
         The returned value must not be mutated.
         """
         if key in self._memory:
-            self.hits += 1
+            self.cache_stats.hits += 1
             return self._memory[key]
         if self.directory is not None:
-            path = self._path(key)
-            if path.exists():
-                try:
-                    value = pickle.loads(path.read_bytes())
-                except Exception:
-                    value = None
-                if value is not None:
-                    self._memory[key] = value
-                    self.hits += 1
-                    self.disk_hits += 1
-                    return value
-        self.misses += 1
+            value, size = self._read_disk(key)
+            if value is not None:
+                self._memory[key] = value
+                self.cache_stats.hits += 1
+                self.cache_stats.disk_hits += 1
+                self.cache_stats.bytes_read += size
+                return value
+        self.cache_stats.misses += 1
         return None
+
+    def _read_disk(self, key: str) -> tuple:
+        """Load ``key`` from disk; ``(None, 0)`` on any defect.
+
+        Every failure mode of a shared store — the file vanishing
+        between the existence check and the read, a torn write from a
+        killed process, pickle version skew — degrades to a miss so one
+        bad entry can never take a worker down.
+        """
+        path = self._path(key)
+        try:
+            payload = path.read_bytes()
+            value = pickle.loads(payload)
+        except Exception:
+            return None, 0
+        return value, len(payload)
 
     def put(self, key: str, value: Any) -> None:
         """Store a private copy of ``value`` under ``key``.
 
         On-disk writes go through a temporary file and ``os.replace`` so
-        a concurrent reader never sees a torn entry.
+        a concurrent reader never sees a torn entry, and are guarded by
+        a per-entry ``O_EXCL`` lock file so two processes never write
+        the same entry at once — the loser skips the disk write (the
+        key is a content hash, so both hold the same result).  A lock
+        left behind by a crashed writer is broken after
+        ``_STALE_LOCK_SECONDS``.
         """
         value = copy.deepcopy(value)
         self._memory[key] = value
-        if self.directory is not None:
-            path = self._path(key)
+        if self.directory is None:
+            return
+        path = self._path(key)
+        lock = path.with_suffix(".lock")
+        if not self._acquire_lock(lock):
+            return
+        try:
+            payload = pickle.dumps(value)
             temporary = path.with_suffix(f".tmp{os.getpid()}")
-            temporary.write_bytes(pickle.dumps(value))
+            temporary.write_bytes(payload)
             os.replace(temporary, path)
+            self.cache_stats.bytes_written += len(payload)
+        finally:
+            try:
+                lock.unlink()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _acquire_lock(lock: Path) -> bool:
+        """Try to create ``lock`` exclusively; break it when stale."""
+        for _ in range(2):
+            try:
+                os.close(os.open(str(lock), os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return True
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # holder just released it: retry
+                if age < _STALE_LOCK_SECONDS:
+                    return False
+                try:
+                    lock.unlink()
+                except OSError:
+                    return False
+            except OSError:
+                return False
+        return False
 
     def stats(self) -> str:
         """One printable line: entries, hits (disk share), misses."""

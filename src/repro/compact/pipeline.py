@@ -182,6 +182,8 @@ class PipelineReport:
     cache_misses: int = 0
     jobs: int = 1
     results: Dict[str, CompactionResult] = field(default_factory=dict)
+    #: counters of the cache used for the run (None when uncached)
+    cache_stats: Optional[Dict[str, int]] = None
 
     def summary(self) -> str:
         """One printable line for the CLI."""
@@ -191,6 +193,19 @@ class PipelineReport:
             f" {self.instance_count} instance(s), jobs={self.jobs},"
             f" {self.cache_hits} cache hit(s), {self.cache_misses} miss(es)"
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the service stores this per job artifact)."""
+        return {
+            "distinct_cells": self.distinct_cells,
+            "unique_contents": self.unique_contents,
+            "instance_count": self.instance_count,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "jobs": self.jobs,
+            "cache_stats": self.cache_stats,
+            "summary": self.summary(),
+        }
 
 
 class HierarchicalCompactor:
@@ -323,5 +338,6 @@ class HierarchicalCompactor:
         if self.cache is not None:
             report.cache_hits = self.cache.hits - hits_before
             report.cache_misses = self.cache.misses - misses_before
+            report.cache_stats = self.cache.cache_stats.to_dict()
         self.last_report = report
         return result

@@ -20,6 +20,8 @@ __all__ = [
     "CompactionError",
     "InfeasibleConstraintsError",
     "SolverConfigurationError",
+    "VerificationError",
+    "ServiceError",
 ]
 
 
@@ -89,3 +91,11 @@ class InfeasibleConstraintsError(CompactionError):
 
 class SolverConfigurationError(CompactionError):
     """A solver backend name did not resolve in the solver registry."""
+
+
+class VerificationError(RsgError):
+    """A requested verification ran and the layout failed it."""
+
+
+class ServiceError(RsgError):
+    """A malformed or unserviceable layout-service request."""

@@ -1,0 +1,48 @@
+"""Layout-as-a-service: job queue, artifact store, worker pool, HTTP API.
+
+The batch CLI (:mod:`repro.cli`) runs one generate → compact → route →
+verify pipeline per invocation.  This package wraps the same pure
+pipeline functions in a long-running service:
+
+* :mod:`repro.service.jobs` — the job model.  A request is a
+  canonicalised :class:`JobSpec` (generator kind, parameter-file text,
+  technology, compact/route/verify options) hashed to a content
+  fingerprint with the :mod:`repro.compact.cache` machinery, so two
+  semantically identical requests *are* the same job;
+* :mod:`repro.service.store` — a SQLite-backed job/result/metadata
+  store plus on-disk artifacts keyed by fingerprint, wrapping a shared
+  :class:`~repro.compact.cache.CompactionCache` so compaction and
+  extraction memos are shared across the whole worker fleet and
+  survive restarts;
+* :mod:`repro.service.workers` — a queue-driven pool of worker
+  processes with per-job timeout, bounded retry on transient failure,
+  crash isolation, and graceful drain;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  stdlib ``ThreadingHTTPServer`` JSON API (submit / status / result /
+  artifact / health / stats) and a thin ``urllib`` client, exposed as
+  the ``repro serve`` and ``repro submit`` CLI verbs.
+
+Deduplication is end-to-end: N identical concurrent submissions cause
+exactly one pipeline execution, and a warm resubmission is served from
+the store without touching a worker.
+"""
+
+from .client import ServiceClient, submit_main
+from .jobs import JobResult, JobSpec, execute_job, fingerprint_spec
+from .server import DEFAULT_PORT, LayoutServer, serve_main
+from .store import Store
+from .workers import WorkerPool
+
+__all__ = [
+    "DEFAULT_PORT",
+    "JobResult",
+    "JobSpec",
+    "LayoutServer",
+    "ServiceClient",
+    "Store",
+    "WorkerPool",
+    "execute_job",
+    "fingerprint_spec",
+    "serve_main",
+    "submit_main",
+]

@@ -1,0 +1,229 @@
+"""The thin client: talk to a layout service over HTTP.
+
+:class:`ServiceClient` wraps ``urllib.request`` — submit, poll, fetch
+— raising :class:`~repro.core.errors.ServiceError` with the server's
+diagnostic on any failure, so callers never parse HTTP by hand.
+``submit_main`` is the ``repro submit`` CLI verb: it takes the *same*
+parameter file the batch CLI takes, embeds the sample/design texts the
+file's directives point at (a submission is self-contained — the
+server never reads the client's filesystem), and round-trips
+submit → wait → download.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.errors import ServiceError
+from .jobs import JobSpec
+
+__all__ = ["ServiceClient", "submit_main"]
+
+
+class ServiceClient:
+    """HTTP client for one layout-service endpoint."""
+
+    def __init__(self, url: str, timeout: float = 10.0) -> None:
+        """``url`` is the service base URL, e.g. ``http://127.0.0.1:8737``."""
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        raw: bool = False,
+    ) -> Any:
+        request = urllib.request.Request(self.url + path)
+        if payload is not None:
+            request.data = json.dumps(payload).encode("utf-8")
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read()
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                detail = json.loads(error.read()).get("error", "")
+            except Exception:  # noqa: BLE001 — best-effort diagnostics
+                pass
+            raise ServiceError(
+                f"{request.get_method()} {path}: HTTP {error.code}"
+                + (f": {detail}" if detail else "")
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach layout service at {self.url}: {error.reason}"
+            ) from None
+        return body if raw else json.loads(body)
+
+    def submit(self, spec: Union[JobSpec, Dict[str, Any]]) -> Dict[str, Any]:
+        """Submit a spec; returns ``{job, state, deduplicated}``."""
+        payload = spec.to_dict() if isinstance(spec, JobSpec) else spec
+        return self._request("/jobs", payload=payload)
+
+    def status(self, job: str) -> Dict[str, Any]:
+        """The job's ledger row."""
+        return self._request(f"/jobs/{job}")
+
+    def result(self, job: str) -> Dict[str, Any]:
+        """Status plus ``result`` for a finished job (202-tolerant)."""
+        return self._request(f"/jobs/{job}/result")
+
+    def wait(
+        self, job: str, timeout: float = 120.0, poll_interval: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll until the job finishes; raise on failure or deadline.
+
+        Returns the full result payload of a ``done`` job.  A
+        ``failed`` job raises :class:`ServiceError` carrying the
+        job's recorded error.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            result = self.result(job)
+            state = result.get("state")
+            if state == "done":
+                return result
+            if state == "failed":
+                raise ServiceError(
+                    f"job {job} failed: {result.get('error') or 'unknown error'}"
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job} still {state} after {timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
+    def artifact(self, job: str, name: str) -> bytes:
+        """Download one artifact (``layout.cif`` or ``result.json``)."""
+        return self._request(f"/jobs/{job}/artifact/{name}", raw=True)
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` liveness payload."""
+        return self._request("/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` observability payload."""
+        return self._request("/stats")
+
+
+def _spec_from_files(arguments) -> JobSpec:
+    """Build a self-contained spec from CLI arguments.
+
+    For ``--kind custom`` (the default) the parameter file's
+    ``.example_file`` / ``.concept_file`` directives are read and their
+    *contents* embedded, so the server needs no access to the client's
+    filesystem; builtin kinds carry their library texts server-side.
+    """
+    from ..lang.param_file import parse_parameters
+
+    with open(arguments.parameter_file, "r", encoding="utf-8") as handle:
+        parameter_text = handle.read()
+    if arguments.set:
+        parameter_text += "\n" + "\n".join(arguments.set)
+    sample_text = design_text = None
+    if arguments.kind == "custom":
+        parameters = parse_parameters(parameter_text)
+        sample_path = parameters.directives.get("example_file")
+        design_path = parameters.directives.get("concept_file")
+        if not sample_path or not design_path:
+            raise ServiceError(
+                "custom submissions need .example_file and .concept_file"
+                " directives (or use --kind for a builtin generator)"
+            )
+        with open(sample_path, "r", encoding="utf-8") as handle:
+            sample_text = handle.read()
+        with open(design_path, "r", encoding="utf-8") as handle:
+            design_text = handle.read()
+    return JobSpec(
+        kind=arguments.kind,
+        parameters=parameter_text,
+        sample_text=sample_text,
+        design_text=design_text,
+        tech=arguments.tech,
+        compact=arguments.compact,
+        solver=arguments.solver,
+        verify=arguments.verify,
+        sim_vectors=arguments.sim_vectors,
+    )
+
+
+def submit_main(argv: Optional[List[str]] = None) -> int:
+    """``repro submit``: send a job to a running layout service.
+
+    Submits, waits (unless ``--no-wait``), prints the job fingerprint
+    and outcome, and optionally writes the layout artifact to
+    ``--output``.
+    """
+    import argparse
+
+    from .server import DEFAULT_PORT
+
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Submit a generation job to a running layout service.",
+    )
+    parser.add_argument("parameter_file", help="the parameter file (Appendix C style)")
+    parser.add_argument(
+        "--url",
+        default=f"http://127.0.0.1:{DEFAULT_PORT}",
+        help=f"service base URL (default: http://127.0.0.1:{DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--kind",
+        default="custom",
+        help="generator kind: custom (embed the files the parameter file"
+        " names) or a builtin library kind like multiplier",
+    )
+    parser.add_argument(
+        "--set", action="append", default=[], metavar="NAME=VALUE",
+        help="override a parameter binding (repeatable)",
+    )
+    parser.add_argument("--compact", metavar="AXES", help="compaction mode (as the batch CLI)")
+    parser.add_argument("--solver", help="longest-path backend for --compact")
+    parser.add_argument("--tech", default="A", help="design-rule technology (default: A)")
+    parser.add_argument("--verify", metavar="MODE", help="verification mode: lvs, sim or all")
+    parser.add_argument("--sim-vectors", type=int, metavar="N", help="simulated-vector cap")
+    parser.add_argument(
+        "--output", metavar="FILE", help="write the layout.cif artifact to FILE"
+    )
+    parser.add_argument(
+        "--no-wait", action="store_true",
+        help="submit and print the job fingerprint without waiting",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, metavar="S",
+        help="wait deadline in seconds (default: 300)",
+    )
+    arguments = parser.parse_args(argv)
+
+    spec = _spec_from_files(arguments)
+    client = ServiceClient(arguments.url)
+    started = time.perf_counter()
+    submitted = client.submit(spec)
+    job = submitted["job"]
+    print(
+        f"job {job[:16]}… {submitted['state']}"
+        + (" (deduplicated)" if submitted.get("deduplicated") else "")
+    )
+    if arguments.no_wait:
+        print(f"poll with: GET {arguments.url}/jobs/{job}")
+        return 0
+    result = client.wait(job, timeout=arguments.timeout)
+    elapsed = time.perf_counter() - started
+    summary = result.get("result") or {}
+    print(
+        f"done in {elapsed:.2f}s: cell {summary.get('cell_name')!r},"
+        f" {summary.get('instance_count')} instance(s)"
+    )
+    if arguments.output:
+        payload = client.artifact(job, "layout.cif")
+        with open(arguments.output, "wb") as handle:
+            handle.write(payload)
+        print(f"wrote layout to {arguments.output}")
+    return 0

@@ -1,0 +1,291 @@
+"""The HTTP front end: a stdlib JSON API over store and pool.
+
+Endpoints (all JSON unless noted)::
+
+    POST /jobs                   submit a job spec -> {job, state, deduplicated}
+    GET  /jobs/<fp>              job status
+    GET  /jobs/<fp>/result       result.json + status (202 while pending)
+    GET  /jobs/<fp>/artifact/<name>  raw artifact bytes (layout.cif, result.json)
+    GET  /healthz                liveness probe
+    GET  /stats                  queue depth, dedup factor, cache hit rate,
+                                 per-stage latencies, worker head-count
+
+Built on ``http.server.ThreadingHTTPServer`` — no third-party
+dependencies — with the deduplication contract implemented in the
+store: a warm resubmission answers ``state: done`` straight from SQLite
+and never touches a worker.  ``serve_main`` is the ``repro serve`` CLI
+verb: it boots the daemon, then drains the worker pool gracefully on
+SIGTERM/SIGINT so in-flight jobs finish before exit.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional
+
+from ..core.errors import ServiceError
+from .jobs import JobSpec
+from .store import Store
+from .workers import WorkerPool
+
+__all__ = ["DEFAULT_PORT", "LayoutServer", "serve_main"]
+
+#: default TCP port of the layout service
+DEFAULT_PORT = 8737
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route requests to the owning :class:`LayoutServer`."""
+
+    #: set by LayoutServer when it builds the HTTP server
+    service: "LayoutServer"
+
+    server_version = "repro-layout-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Route access logs through the server's quiet flag."""
+        if self.service.verbose:
+            sys.stderr.write(
+                "%s - %s\n" % (self.address_string(), format % args)
+            )
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_bytes(self, payload: bytes, content_type: str = "text/plain") -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server contract
+        """POST /jobs: submit a job spec."""
+        if self.path.rstrip("/") != "/jobs":
+            self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            spec = JobSpec.from_dict(payload)
+            submitted = self.service.store.submit(spec)
+        except (ServiceError, ValueError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        self._send_json(200, submitted)
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server contract
+        """GET routing: status, result, artifacts, health, stats."""
+        parts = [part for part in self.path.split("/") if part]
+        try:
+            if parts == ["healthz"]:
+                self._send_json(200, {"ok": True, "workers": self.service.pool.alive_workers()})
+            elif parts == ["stats"]:
+                stats = self.service.store.stats()
+                stats["workers"] = self.service.pool.alive_workers()
+                stats["timeouts"] = self.service.pool.timeouts
+                stats["crashes"] = self.service.pool.crashes
+                self._send_json(200, stats)
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._job_status(parts[1])
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                self._job_result(parts[1])
+            elif len(parts) == 4 and parts[0] == "jobs" and parts[2] == "artifact":
+                self._job_artifact(parts[1], parts[3])
+            else:
+                self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
+        except ServiceError as error:
+            self._send_json(400, {"error": str(error)})
+
+    def _job_status(self, fingerprint: str) -> None:
+        status = self.service.store.status(fingerprint)
+        if status is None:
+            self._send_json(404, {"error": f"unknown job {fingerprint!r}"})
+        else:
+            self._send_json(200, status)
+
+    def _job_result(self, fingerprint: str) -> None:
+        result = self.service.store.result(fingerprint)
+        if result is None:
+            self._send_json(404, {"error": f"unknown job {fingerprint!r}"})
+        elif result["state"] in ("queued", "running"):
+            self._send_json(202, result)
+        else:
+            self._send_json(200, result)
+
+    def _job_artifact(self, fingerprint: str, name: str) -> None:
+        payload = self.service.store.artifact_bytes(fingerprint, name)
+        if payload is None:
+            self._send_json(
+                404, {"error": f"no artifact {name!r} for job {fingerprint!r}"}
+            )
+        elif name.endswith(".json"):
+            self._send_bytes(payload, "application/json")
+        else:
+            self._send_bytes(payload)
+
+
+class LayoutServer:
+    """The daemon: one store, one worker pool, one HTTP endpoint.
+
+    ``port=0`` binds an ephemeral port (tests and parallel CI lanes);
+    the bound address is available as :attr:`url` after construction.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        workers: int = 2,
+        job_timeout: float = 300.0,
+        max_attempts: int = 2,
+        poll_interval: float = 0.05,
+        verbose: bool = False,
+    ) -> None:
+        """Create the daemon (nothing runs until :meth:`start`)."""
+        self.pool = WorkerPool(
+            root,
+            workers=workers,
+            job_timeout=job_timeout,
+            max_attempts=max_attempts,
+            poll_interval=poll_interval,
+        )
+        self.store: Store = self.pool.store
+        self.verbose = verbose
+        handler = type("BoundHandler", (_Handler,), {"service": self})
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        """The bound base URL (resolves ephemeral ports)."""
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Start the worker pool and serve HTTP on a background thread."""
+        self.pool.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, drain: bool = True) -> int:
+        """Stop HTTP, then the pool; returns drained in-flight count."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        return self.pool.stop(drain=drain)
+
+    def __enter__(self) -> "LayoutServer":
+        """Context-manager start (tests: ``with LayoutServer(...)``)."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager stop with drain."""
+        self.stop(drain=True)
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """``repro serve``: run the layout service in the foreground.
+
+    Prints the bound URL on stdout once ready, then blocks until
+    SIGTERM/SIGINT; on either it stops accepting requests, drains
+    in-flight jobs, and exits 0 — the clean-shutdown contract CI
+    asserts on.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the layout-as-a-service daemon: an HTTP job"
+        " queue with a shared, restart-surviving artifact store.",
+    )
+    parser.add_argument(
+        "--root",
+        default=".repro-service",
+        metavar="DIR",
+        help="service state directory: job ledger, artifacts, shared"
+        " compaction cache (default: .repro-service)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"TCP port; 0 picks an ephemeral one (default: {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes (default: 2)",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=300.0, metavar="S",
+        help="per-job wall-clock limit in seconds (default: 300)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=2, metavar="N",
+        help="attempts per job before a crashed worker's job is failed"
+        " for good (default: 2)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log HTTP requests to stderr"
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.workers < 1:
+        parser.error("--workers must be at least 1")
+    if arguments.job_timeout <= 0:
+        parser.error("--job-timeout must be positive")
+
+    try:
+        server = LayoutServer(
+            arguments.root,
+            host=arguments.host,
+            port=arguments.port,
+            workers=arguments.workers,
+            job_timeout=arguments.job_timeout,
+            max_attempts=arguments.max_attempts,
+            verbose=arguments.verbose,
+        )
+    except OSError as error:
+        raise ServiceError(
+            f"cannot bind {arguments.host}:{arguments.port}: {error}"
+        ) from None
+    stop_requested = threading.Event()
+
+    def request_stop(signum: int, frame: Any) -> None:
+        stop_requested.set()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, request_stop),
+        signal.SIGINT: signal.signal(signal.SIGINT, request_stop),
+    }
+    server.start()
+    print(
+        f"serving on {server.url} (root {arguments.root},"
+        f" {arguments.workers} worker(s))",
+        flush=True,
+    )
+    try:
+        stop_requested.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    in_flight = server.stop(drain=True)
+    print(f"drained {in_flight} in-flight job(s); clean shutdown", flush=True)
+    return 0

@@ -1,0 +1,374 @@
+"""The shared, concurrency-safe job and artifact store.
+
+One directory holds the whole service state, so a restarted daemon (or
+a second one pointed at the same root) resumes where the last left
+off::
+
+    <root>/jobs.sqlite      job/result metadata (WAL, multi-process safe)
+    <root>/artifacts/<fp>/  layout.cif + result.json per finished job
+    <root>/cache/           the shared CompactionCache directory
+
+The SQLite schema is the job ledger: one row per content fingerprint
+with a state machine ``queued → running → done|failed`` (a retryable
+failure re-enters ``queued``).  Claiming is an ``BEGIN IMMEDIATE``
+transaction, so concurrent workers — separate *processes* with their
+own connections — never run the same job twice; ``executions`` counts
+how many times a worker actually started the pipeline (the
+deduplication proof the tests assert on) and ``submissions`` how many
+times clients asked, so ``submissions / executions`` is the fleet-wide
+dedup factor.
+
+Artifacts are written through temporary files and ``os.replace`` and
+the job row flips to ``done`` only afterwards, so a reader that sees
+``done`` always finds complete artifacts.  Counters from every
+worker's :class:`~repro.compact.cache.CacheStats` accumulate in the
+``counters`` table — that is what the ``/stats`` endpoint reports as
+the fleet-wide cache hit rate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..compact.cache import CacheStats, CompactionCache
+from ..core.errors import ServiceError
+from .jobs import JobResult, JobSpec
+
+__all__ = ["Store"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    fingerprint TEXT PRIMARY KEY,
+    spec        TEXT NOT NULL,
+    state       TEXT NOT NULL,
+    error       TEXT,
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    executions  INTEGER NOT NULL DEFAULT 0,
+    submissions INTEGER NOT NULL DEFAULT 0,
+    worker_pid  INTEGER,
+    submitted_at REAL,
+    started_at   REAL,
+    finished_at  REAL
+);
+CREATE TABLE IF NOT EXISTS timings (
+    fingerprint TEXT NOT NULL,
+    stage       TEXT NOT NULL,
+    seconds     REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS counters (
+    name  TEXT PRIMARY KEY,
+    value INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, submitted_at);
+"""
+
+#: artifact files a job may expose for download
+ARTIFACT_NAMES = ("layout.cif", "result.json")
+
+
+class Store:
+    """SQLite-backed job ledger plus on-disk artifacts and shared cache.
+
+    Safe for concurrent use from many threads and processes: every
+    operation opens its own short-lived connection (WAL journal, busy
+    timeout), and the claim path runs under ``BEGIN IMMEDIATE`` so two
+    workers can never both claim one job.
+    """
+
+    def __init__(self, root: str, max_attempts: int = 2) -> None:
+        """``root`` is created on first use; ``max_attempts`` bounds the
+        retry of transiently failed (crashed-worker) jobs."""
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "artifacts").mkdir(exist_ok=True)
+        self.max_attempts = max_attempts
+        self._db = self.root / "jobs.sqlite"
+        with self._connect() as connection:
+            connection.executescript(_SCHEMA)
+
+    @contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        """A short-lived connection: commit on success, always close."""
+        connection = sqlite3.connect(self._db, timeout=30.0)
+        try:
+            connection.row_factory = sqlite3.Row
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            with connection:
+                yield connection
+        finally:
+            connection.close()
+
+    def compaction_cache(self) -> CompactionCache:
+        """A process-local handle on the shared compaction cache."""
+        return CompactionCache(str(self.root / "cache"))
+
+    # ------------------------------------------------------------------
+    # submission and dedup
+
+    def submit(self, spec: JobSpec) -> Dict[str, Any]:
+        """Register ``spec`` and return ``{job, state, deduplicated}``.
+
+        The fingerprint is the job identity: a resubmission of known
+        content attaches to the existing row (``deduplicated: True``)
+        whatever its state — a ``done`` job is served straight from the
+        store, a ``queued``/``running`` one is joined, and a ``failed``
+        one is re-queued for a fresh set of attempts.
+        """
+        fingerprint = spec.fingerprint
+        now = time.time()
+        with self._connect() as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            row = connection.execute(
+                "SELECT state FROM jobs WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+            if row is None:
+                connection.execute(
+                    "INSERT INTO jobs (fingerprint, spec, state, submissions,"
+                    " submitted_at) VALUES (?, ?, 'queued', 1, ?)",
+                    (fingerprint, json.dumps(spec.to_dict()), now),
+                )
+                return {"job": fingerprint, "state": "queued", "deduplicated": False}
+            state = row["state"]
+            if state == "failed":
+                connection.execute(
+                    "UPDATE jobs SET state = 'queued', error = NULL,"
+                    " attempts = 0, submissions = submissions + 1,"
+                    " submitted_at = ?, worker_pid = NULL WHERE fingerprint = ?",
+                    (now, fingerprint),
+                )
+                return {"job": fingerprint, "state": "queued", "deduplicated": False}
+            connection.execute(
+                "UPDATE jobs SET submissions = submissions + 1 WHERE fingerprint = ?",
+                (fingerprint,),
+            )
+            return {"job": fingerprint, "state": state, "deduplicated": True}
+
+    # ------------------------------------------------------------------
+    # the worker side
+
+    def claim(self, worker_pid: int) -> Optional[Tuple[str, JobSpec]]:
+        """Atomically claim the oldest queued job, or return ``None``.
+
+        The claimed row moves to ``running`` with this worker's pid and
+        bumped ``attempts``/``executions`` counters — the single place
+        a pipeline execution is accounted.
+        """
+        with self._connect() as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            row = connection.execute(
+                "SELECT fingerprint, spec FROM jobs WHERE state = 'queued'"
+                " ORDER BY submitted_at LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            connection.execute(
+                "UPDATE jobs SET state = 'running', worker_pid = ?,"
+                " started_at = ?, attempts = attempts + 1,"
+                " executions = executions + 1 WHERE fingerprint = ?",
+                (worker_pid, time.time(), row["fingerprint"]),
+            )
+            return row["fingerprint"], JobSpec.from_dict(json.loads(row["spec"]))
+
+    def complete(self, fingerprint: str, result: JobResult) -> None:
+        """Persist ``result``'s artifacts, then mark the job ``done``.
+
+        Artifact writes happen *before* the state flip, each through a
+        temporary file and ``os.replace``, so a client that observes
+        ``done`` can always download complete artifacts.
+        """
+        directory = self.artifact_dir(fingerprint)
+        directory.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(directory / "layout.cif", result.cif.encode("utf-8"))
+        self._write_atomic(
+            directory / "result.json",
+            (json.dumps(result.to_dict(), indent=2) + "\n").encode("utf-8"),
+        )
+        with self._connect() as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            connection.execute(
+                "UPDATE jobs SET state = 'done', error = NULL, finished_at = ?,"
+                " worker_pid = NULL WHERE fingerprint = ?",
+                (time.time(), fingerprint),
+            )
+            connection.executemany(
+                "INSERT INTO timings (fingerprint, stage, seconds) VALUES (?, ?, ?)",
+                [
+                    (fingerprint, stage, seconds)
+                    for stage, seconds in result.timings.items()
+                ],
+            )
+
+    def fail(
+        self,
+        fingerprint: str,
+        error: str,
+        retry: bool = False,
+        expect_pid: Optional[int] = None,
+    ) -> Optional[str]:
+        """Record a failure; returns the job's resulting state.
+
+        ``retry=True`` (transient failures: a crashed worker) re-queues
+        the job until ``max_attempts`` is exhausted.  ``expect_pid``
+        guards the supervisor's crash sweep: the update only applies if
+        the job is still running under that pid — ``None`` is returned
+        (and nothing changes) when it is not, so a job whose worker
+        finished or was re-judged a heartbeat ago is left alone.
+        """
+        with self._connect() as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            guard = "state = 'running'"
+            values: List[Any] = []
+            if expect_pid is not None:
+                guard += " AND worker_pid = ?"
+                values.append(expect_pid)
+            row = connection.execute(
+                f"SELECT attempts, state FROM jobs WHERE fingerprint = ? AND {guard}",
+                [fingerprint, *values],
+            ).fetchone()
+            if row is None:
+                return None
+            if retry and row["attempts"] < self.max_attempts:
+                connection.execute(
+                    "UPDATE jobs SET state = 'queued', worker_pid = NULL,"
+                    " error = ? WHERE fingerprint = ?",
+                    (error, fingerprint),
+                )
+                return "queued"
+            connection.execute(
+                "UPDATE jobs SET state = 'failed', worker_pid = NULL,"
+                " error = ?, finished_at = ? WHERE fingerprint = ?",
+                (error, time.time(), fingerprint),
+            )
+            return "failed"
+
+    def record_cache_stats(self, stats: CacheStats) -> None:
+        """Accumulate a worker's cache-counter deltas fleet-wide."""
+        with self._connect() as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            for name, value in stats.to_dict().items():
+                if value:
+                    connection.execute(
+                        "INSERT INTO counters (name, value) VALUES (?, ?)"
+                        " ON CONFLICT(name) DO UPDATE SET value = value + ?",
+                        (f"cache_{name}", value, value),
+                    )
+
+    # ------------------------------------------------------------------
+    # the client side
+
+    def status(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The job row as a dict, or ``None`` for an unknown job."""
+        with self._connect() as connection:
+            row = connection.execute(
+                "SELECT * FROM jobs WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+        if row is None:
+            return None
+        status = dict(row)
+        status["job"] = status.pop("fingerprint")
+        status.pop("spec", None)
+        return status
+
+    def result(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """Status plus the stored ``result.json`` for a ``done`` job."""
+        status = self.status(fingerprint)
+        if status is None:
+            return None
+        if status["state"] == "done":
+            path = self.artifact_dir(fingerprint) / "result.json"
+            try:
+                status["result"] = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                status["result"] = None
+                status["error"] = "artifacts missing or unreadable"
+        return status
+
+    def artifact_dir(self, fingerprint: str) -> Path:
+        """Directory holding one job's artifacts."""
+        return self.root / "artifacts" / fingerprint
+
+    def artifact_bytes(self, fingerprint: str, name: str) -> Optional[bytes]:
+        """One artifact's raw bytes, or ``None`` when absent.
+
+        ``name`` must be a known artifact file — arbitrary paths are
+        rejected so the HTTP layer cannot be walked out of the store.
+        """
+        if name not in ARTIFACT_NAMES:
+            raise ServiceError(
+                f"unknown artifact {name!r} (available: {', '.join(ARTIFACT_NAMES)})"
+            )
+        path = self.artifact_dir(fingerprint) / name
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def queue_depth(self) -> int:
+        """Number of jobs waiting to be claimed."""
+        with self._connect() as connection:
+            return connection.execute(
+                "SELECT COUNT(*) FROM jobs WHERE state = 'queued'"
+            ).fetchone()[0]
+
+    def running_jobs(self) -> List[Dict[str, Any]]:
+        """Jobs currently claimed by a worker (for the supervisor)."""
+        with self._connect() as connection:
+            rows = connection.execute(
+                "SELECT fingerprint, worker_pid, started_at, attempts"
+                " FROM jobs WHERE state = 'running'"
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def stats(self) -> Dict[str, Any]:
+        """Fleet-wide statistics for the ``/stats`` endpoint."""
+        with self._connect() as connection:
+            states = dict(
+                connection.execute(
+                    "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+                ).fetchall()
+            )
+            submissions, executions = connection.execute(
+                "SELECT COALESCE(SUM(submissions), 0),"
+                " COALESCE(SUM(executions), 0) FROM jobs"
+            ).fetchone()
+            stage_rows = connection.execute(
+                "SELECT stage, COUNT(*), AVG(seconds), MAX(seconds)"
+                " FROM timings GROUP BY stage"
+            ).fetchall()
+            counters = dict(
+                connection.execute("SELECT name, value FROM counters").fetchall()
+            )
+        cache_hits = counters.get("cache_hits", 0)
+        cache_lookups = cache_hits + counters.get("cache_misses", 0)
+        return {
+            "jobs": states,
+            "queue_depth": states.get("queued", 0),
+            "submissions": submissions,
+            "executions": executions,
+            "dedup_factor": (submissions / executions) if executions else None,
+            "stage_latency": {
+                stage: {"count": count, "mean_s": mean, "max_s": maximum}
+                for stage, count, mean, maximum in stage_rows
+            },
+            "cache": {
+                **counters,
+                "hit_rate": (cache_hits / cache_lookups) if cache_lookups else None,
+            },
+        }
+
+    @staticmethod
+    def _write_atomic(path: Path, payload: bytes) -> None:
+        """Write ``payload`` to ``path`` via a same-directory rename."""
+        temporary = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        temporary.write_bytes(payload)
+        os.replace(temporary, path)

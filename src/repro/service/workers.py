@@ -1,0 +1,221 @@
+"""The worker pool: queue-driven processes running the pure pipeline.
+
+Workers are separate *processes* (crash isolation: a dying worker takes
+down exactly one job, never the daemon), each looping claim → execute →
+complete against the shared :class:`~repro.service.store.Store`.  The
+store is the queue — claiming is an atomic SQLite transaction — so
+workers need no channel to the parent beyond the stop event.
+
+A supervisor thread in the parent enforces the pool contract:
+
+* **timeout** — a job running longer than ``job_timeout`` gets its
+  worker terminated and is failed with the timeout in its error (a
+  deterministic runaway would not get faster on retry);
+* **crash isolation and bounded retry** — a worker that dies mid-job
+  (segfault, OOM kill, ``kill -9``) fails only its own job; the job is
+  re-queued as a transient failure until the store's ``max_attempts``
+  is exhausted, and a replacement worker is spawned;
+* **graceful drain** — :meth:`WorkerPool.stop` with ``drain=True``
+  (what the daemon's SIGTERM handler calls) lets every in-flight job
+  finish before the workers exit; still-queued jobs stay queued in the
+  store for the next boot.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..core.errors import RsgError
+from .jobs import execute_job
+from .store import Store
+
+__all__ = ["WorkerPool", "worker_loop"]
+
+
+def worker_loop(root: str, stop_event, poll_interval: float = 0.05) -> None:
+    """One worker process: claim jobs from the store until stopped.
+
+    Runs the pure pipeline for each claimed job with a process-local
+    handle on the shared compaction cache, records the cache-counter
+    deltas fleet-wide after every job, and exits cleanly when
+    ``stop_event`` is set (finishing the job in hand first — the drain
+    contract).  Pipeline errors fail the job deterministically (no
+    retry); only the supervisor treats worker death as transient.
+    """
+    store = Store(root)
+    cache = store.compaction_cache()
+    pid = os.getpid()
+    while not stop_event.is_set():
+        claim = store.claim(pid)
+        if claim is None:
+            time.sleep(poll_interval)
+            continue
+        fingerprint, spec = claim
+        before = copy.copy(cache.cache_stats)
+        try:
+            result = execute_job(spec, cache=cache)
+        except RsgError as error:
+            store.fail(fingerprint, f"{type(error).__name__}: {error}")
+        except Exception as error:  # noqa: BLE001 — a worker must not die on a job
+            store.fail(fingerprint, f"internal error: {type(error).__name__}: {error}")
+        else:
+            store.complete(fingerprint, result)
+        delta = copy.copy(cache.cache_stats)
+        delta.hits -= before.hits
+        delta.misses -= before.misses
+        delta.disk_hits -= before.disk_hits
+        delta.bytes_read -= before.bytes_read
+        delta.bytes_written -= before.bytes_written
+        store.record_cache_stats(delta)
+
+
+class WorkerPool:
+    """A supervised pool of worker processes over one store root."""
+
+    def __init__(
+        self,
+        root: str,
+        workers: int = 2,
+        job_timeout: float = 300.0,
+        max_attempts: int = 2,
+        poll_interval: float = 0.05,
+    ) -> None:
+        """``job_timeout`` bounds one pipeline execution;
+        ``max_attempts`` bounds retries of crashed-worker jobs;
+        ``poll_interval`` is both the workers' queue poll and the
+        supervisor's heartbeat."""
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, not {workers}")
+        self.root = root
+        self.workers = workers
+        self.job_timeout = job_timeout
+        self.poll_interval = poll_interval
+        self.store = Store(root, max_attempts=max_attempts)
+        self._context = multiprocessing.get_context()
+        self._stop = self._context.Event()
+        self._processes: List[multiprocessing.Process] = []
+        self._supervisor: Optional[threading.Thread] = None
+        self._stopping = False
+        self.timeouts = 0
+        self.crashes = 0
+
+    def start(self) -> None:
+        """Spawn the workers and the supervisor heartbeat."""
+        self._stopping = False
+        self._stop.clear()
+        for _ in range(self.workers):
+            self._spawn()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-service-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    def _spawn(self) -> None:
+        process = self._context.Process(
+            target=worker_loop,
+            args=(self.root, self._stop, self.poll_interval),
+            daemon=True,
+        )
+        process.start()
+        self._processes.append(process)
+
+    def alive_workers(self) -> int:
+        """How many worker processes are currently running."""
+        return sum(1 for process in self._processes if process.is_alive())
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live workers (the robustness tests aim at these)."""
+        return [
+            process.pid
+            for process in self._processes
+            if process.is_alive() and process.pid is not None
+        ]
+
+    def _supervise(self) -> None:
+        """Heartbeat: enforce timeouts, sweep crashes, respawn workers."""
+        while not self._stopping:
+            time.sleep(self.poll_interval)
+            try:
+                self._enforce_timeouts()
+                self._sweep_crashes()
+            except Exception:  # noqa: BLE001 — the heartbeat must survive
+                pass
+
+    def _enforce_timeouts(self) -> None:
+        now = time.time()
+        by_pid: Dict[int, multiprocessing.Process] = {
+            process.pid: process
+            for process in self._processes
+            if process.pid is not None
+        }
+        for job in self.store.running_jobs():
+            started = job["started_at"] or now
+            if now - started <= self.job_timeout:
+                continue
+            process = by_pid.get(job["worker_pid"])
+            if process is not None and process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+            state = self.store.fail(
+                job["fingerprint"],
+                f"timed out after {self.job_timeout:g}s",
+                retry=False,
+                expect_pid=job["worker_pid"],
+            )
+            if state is not None:
+                self.timeouts += 1
+
+    def _sweep_crashes(self) -> None:
+        dead = [process for process in self._processes if not process.is_alive()]
+        if not dead:
+            return
+        dead_pids = {process.pid for process in dead}
+        self._processes = [
+            process for process in self._processes if process.is_alive()
+        ]
+        for job in self.store.running_jobs():
+            if job["worker_pid"] in dead_pids:
+                state = self.store.fail(
+                    job["fingerprint"],
+                    f"worker (pid {job['worker_pid']}) died mid-job",
+                    retry=True,
+                    expect_pid=job["worker_pid"],
+                )
+                if state is not None:
+                    self.crashes += 1
+        if not self._stopping:
+            while len(self._processes) < self.workers:
+                self._spawn()
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> int:
+        """Stop the pool; returns how many jobs were in flight.
+
+        ``drain=True`` waits (up to ``timeout``) for in-flight jobs to
+        finish — the workers exit after completing the job in hand.
+        ``drain=False`` terminates the workers immediately; their jobs
+        are swept back to the queue as transient failures on the next
+        boot's claim, or by a concurrently running supervisor.
+        """
+        in_flight = len(self.store.running_jobs())
+        self._stopping = True
+        self._stop.set()
+        if not drain:
+            for process in self._processes:
+                if process.is_alive():
+                    process.terminate()
+        deadline = time.time() + timeout
+        for process in self._processes:
+            remaining = max(0.1, deadline - time.time())
+            process.join(timeout=remaining)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5.0)
+        self._processes = []
+        return in_flight

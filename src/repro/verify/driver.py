@@ -81,6 +81,22 @@ class VerificationReport:
         lines.append(f"  result: {'PASS' if self.ok else 'FAIL'}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (the service stores this per job artifact)."""
+        return {
+            "subject": self.subject,
+            "mode": self.mode,
+            "hierarchical": self.hierarchical,
+            "devices": self.devices,
+            "nets": self.nets,
+            "vectors_checked": self.vectors_checked,
+            "exhaustive": self.exhaustive,
+            "failures": list(self.failures),
+            "lvs": self.lvs.to_dict() if self.lvs is not None else None,
+            "ok": self.ok,
+            "summary": self.summary(),
+        }
+
     def __repr__(self) -> str:
         return f"VerificationReport({self.subject!r}, ok={self.ok})"
 

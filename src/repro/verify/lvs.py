@@ -58,6 +58,17 @@ class LvsReport:
             detail += "; " + "; ".join(self.mismatches[:3])
         return f"LVS {verdict} ({detail})"
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (the service stores this per job artifact)."""
+        return {
+            "matched": self.matched,
+            "mismatches": list(self.mismatches),
+            "net_counts": list(self.net_counts),
+            "device_counts": list(self.device_counts),
+            "rounds": self.rounds,
+            "summary": self.summary(),
+        }
+
     def __repr__(self) -> str:
         return f"LvsReport(matched={self.matched})"
 

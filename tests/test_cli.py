@@ -316,8 +316,10 @@ class TestRouteFlags:
         assert "--route" in capsys.readouterr().err
 
     def test_missing_net_file_is_an_error(self, route_files, capsys):
+        from repro.cli import EXIT_IO
+
         parameter, _, _ = route_files
-        assert main([str(parameter), "--route", "/nonexistent.net"]) == 1
+        assert main([str(parameter), "--route", "/nonexistent.net"]) == EXIT_IO
         assert "error:" in capsys.readouterr().err
 
     def test_route_with_compact_rejected(self, route_files, capsys):
@@ -409,7 +411,9 @@ class TestVerifyFlags:
 
         monkeypatch.setattr(verify_module, "verify_cell", broken)
         parameter, _ = flow_files
-        assert main([str(parameter), "--verify", "all"]) == 1
+        from repro.cli import EXIT_VERIFY
+
+        assert main([str(parameter), "--verify", "all"]) == EXIT_VERIFY
         assert "verification failed" in capsys.readouterr().err
 
     def test_bad_verify_mode_via_run_flow(self, flow_files):
@@ -423,3 +427,139 @@ class TestVerifyFlags:
             main([str(parameter), "--route", str(netfile), "--verify", "all",
                   "--sim-vectors", "8"])
         assert "round-trip" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """Every failure family gets a one-line stderr diagnostic and its
+    own exit code — the CLI exit-path audit."""
+
+    def test_families_are_distinct(self):
+        from repro.cli import (
+            EXIT_ERROR, EXIT_INTERNAL, EXIT_IO, EXIT_PARSE, EXIT_SERVICE,
+            EXIT_USAGE, EXIT_VERIFY,
+        )
+
+        codes = [EXIT_ERROR, EXIT_USAGE, EXIT_PARSE, EXIT_VERIFY, EXIT_IO,
+                 EXIT_SERVICE, EXIT_INTERNAL]
+        assert len(set(codes)) == len(codes)
+        assert all(code != 0 for code in codes)
+
+    def test_exit_code_for_table(self):
+        from repro.cli import (
+            EXIT_ERROR, EXIT_INTERNAL, EXIT_IO, EXIT_PARSE, EXIT_SERVICE,
+            EXIT_VERIFY, exit_code_for,
+        )
+        from repro.core.errors import (
+            ParseError, RsgError, ServiceError, VerificationError,
+        )
+
+        assert exit_code_for(ParseError("x")) == EXIT_PARSE
+        assert exit_code_for(VerificationError("x")) == EXIT_VERIFY
+        assert exit_code_for(ServiceError("x")) == EXIT_SERVICE
+        assert exit_code_for(RsgError("x")) == EXIT_ERROR
+        assert exit_code_for(OSError("x")) == EXIT_IO
+        assert exit_code_for(ValueError("x")) == EXIT_INTERNAL
+
+    def test_bad_parameter_syntax_exits_parse(self, tmp_path, capsys):
+        from repro.cli import EXIT_PARSE
+
+        bad = tmp_path / "bad.par"
+        bad.write_text("this is not ; a = valid line !!\n")
+        assert main([str(bad)]) == EXIT_PARSE
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and len(err.strip().splitlines()) == 1
+
+    def test_missing_parameter_file_exits_io(self, capsys):
+        from repro.cli import EXIT_IO
+
+        assert main(["/nonexistent/never.par"]) == EXIT_IO
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_tech_exits_generic(self, flow_files, capsys):
+        from repro.cli import EXIT_ERROR
+
+        parameter, _ = flow_files
+        assert main([str(parameter), "--compact", "x", "--tech", "A",
+                     ]) == 0
+        capsys.readouterr()
+        # run_flow-level check: tech validation happens past argparse
+        from repro.cli import run_flow
+        from repro.core.errors import RsgError
+
+        with pytest.raises(RsgError):
+            run_flow(str(parameter), compact_axes="x", technology="Z")
+        from repro.cli import exit_code_for
+
+        try:
+            run_flow(str(parameter), compact_axes="x", technology="Z")
+        except RsgError as error:
+            assert exit_code_for(error) == EXIT_ERROR
+
+    def test_internal_errors_are_one_line_not_tracebacks(
+        self, flow_files, capsys, monkeypatch
+    ):
+        from repro.cli import EXIT_INTERNAL
+
+        import repro.cli as cli_module
+
+        def explode(*args, **kwargs):
+            raise ValueError("boom")
+
+        monkeypatch.setattr(cli_module, "run_flow", explode)
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        parameter, _ = flow_files
+        assert main([str(parameter)]) == EXIT_INTERNAL
+        err = capsys.readouterr().err
+        assert "internal error:" in err
+        assert "Traceback" not in err
+
+    def test_repro_debug_reraises_internal_errors(
+        self, flow_files, capsys, monkeypatch
+    ):
+        import repro.cli as cli_module
+
+        def explode(*args, **kwargs):
+            raise ValueError("boom")
+
+        monkeypatch.setattr(cli_module, "run_flow", explode)
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        parameter, _ = flow_files
+        with pytest.raises(ValueError, match="boom"):
+            main([str(parameter)])
+
+
+class TestServiceVerbs:
+    """The serve/submit dispatch (the service itself is tested in
+    tests/test_service_*.py)."""
+
+    def test_submit_unreachable_service_exits_service_code(
+        self, flow_files, capsys
+    ):
+        from repro.cli import EXIT_SERVICE
+
+        parameter, _ = flow_files
+        code = main([
+            "submit", str(parameter), "--kind", "multiplier",
+            "--url", "http://127.0.0.1:9",  # port 9: discard, nothing listens
+        ])
+        assert code == EXIT_SERVICE
+        assert "cannot reach layout service" in capsys.readouterr().err
+
+    def test_submit_without_directives_needs_kind(self, tmp_path, capsys):
+        from repro.cli import EXIT_SERVICE
+
+        bare = tmp_path / "bare.par"
+        bare.write_text("xsize=2\n")
+        assert main(["submit", str(bare)]) == EXIT_SERVICE
+        assert ".example_file" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_workers(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--workers", "0"])
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_serve_help_mentions_store(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        assert "artifact store" in capsys.readouterr().out

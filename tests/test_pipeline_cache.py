@@ -337,3 +337,119 @@ class TestHierarchicalCompactor:
         assert report.distinct_cells == 3
         assert set(report.results) == {"leaf0", "leaf1", "leaf2"}
         assert "3 distinct leaf cell(s)" in report.summary()
+
+
+class TestCacheStats:
+    def test_counters_track_lookups_and_disk_traffic(self, tmp_path):
+        directory = tmp_path / "cache"
+        writer = CompactionCache(str(directory))
+        compact_cell(make_leaf("x"), TECH_A, cache=writer)
+        stats = writer.cache_stats
+        assert stats.misses == 1 and stats.hits == 0
+        assert stats.bytes_written > 0 and stats.bytes_read == 0
+
+        reader = CompactionCache(str(directory))
+        compact_cell(make_leaf("x"), TECH_A, cache=reader)
+        stats = reader.cache_stats
+        assert stats.hits == 1 and stats.disk_hits == 1
+        assert stats.bytes_read == writer.cache_stats.bytes_written
+        assert stats.hit_rate == 1.0
+
+    def test_hit_rate_is_zero_when_idle(self):
+        from repro.compact import CacheStats
+
+        assert CacheStats().hit_rate == 0.0
+        assert CacheStats().lookups == 0
+
+    def test_merge_accumulates(self):
+        from repro.compact import CacheStats
+
+        total = CacheStats(hits=1, misses=2, bytes_read=10)
+        total.merge(CacheStats(hits=3, disk_hits=1, bytes_written=5))
+        assert total.to_dict() == {
+            "hits": 4,
+            "misses": 2,
+            "disk_hits": 1,
+            "bytes_read": 10,
+            "bytes_written": 5,
+        }
+
+    def test_legacy_attributes_view_the_stats(self):
+        cache = CompactionCache()
+        compact_cell(make_leaf("x"), TECH_A, cache=cache)
+        compact_cell(make_leaf("x"), TECH_A, cache=cache)
+        assert (cache.hits, cache.misses) == (
+            cache.cache_stats.hits,
+            cache.cache_stats.misses,
+        ) == (1, 1)
+
+    def test_pipeline_report_carries_cache_stats(self):
+        top = CellDefinition("top")
+        top.add_instance(make_leaf("a", seed=3), Vec2(0, 0), NORTH)
+        top.add_instance(make_leaf("b", seed=3), Vec2(200, 0), NORTH)
+        compactor = HierarchicalCompactor(TECH_A, cache=CompactionCache())
+        compactor.compact(top)
+        report = compactor.last_report.to_dict()
+        assert report["cache_stats"]["misses"] >= 1
+        assert set(report["cache_stats"]) == {
+            "hits", "misses", "disk_hits", "bytes_read", "bytes_written",
+        }
+
+
+class TestConcurrentWrites:
+    """The multi-process safety satellite: lock files guard the store."""
+
+    def test_held_lock_skips_the_disk_write(self, tmp_path):
+        directory = tmp_path / "cache"
+        cache = CompactionCache(str(directory))
+        cache.put("somekey", {"value": 1})
+        path = directory / "somekey.pkl"
+        written = path.read_bytes()
+
+        # another process is mid-write: its lock makes us skip disk
+        lock = directory / "somekey.lock"
+        lock.touch()
+        cache.put("somekey", {"value": 2})
+        assert path.read_bytes() == written  # disk untouched
+        assert cache.get("somekey") == {"value": 2}  # memory updated
+        lock.unlink()
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        import os
+
+        directory = tmp_path / "cache"
+        cache = CompactionCache(str(directory))
+        lock = directory / "somekey.lock"
+        lock.touch()
+        ancient = 1_000_000.0
+        os.utime(lock, (ancient, ancient))
+        cache.put("somekey", {"value": 3})
+        assert not lock.exists()
+        assert CompactionCache(str(directory)).get("somekey") == {"value": 3}
+
+    def test_many_processes_hammer_one_directory(self, tmp_path):
+        """N processes write and read the same keys; nobody crashes and
+        every surviving entry is intact."""
+        directory = tmp_path / "cache"
+        script = (
+            "import sys\n"
+            f"sys.path.insert(0, {REPO_SRC!r})\n"
+            "from repro.compact import CompactionCache\n"
+            f"cache = CompactionCache({str(directory)!r})\n"
+            "for round in range(20):\n"
+            "    for key in ('alpha', 'beta', 'gamma'):\n"
+            "        cache.put(key, {'key': key, 'payload': list(range(200))})\n"
+            "        value = CompactionCache("
+            f"{str(directory)!r}).get(key)\n"
+            "        assert value is None or value['key'] == key\n"
+        )
+        processes = [
+            subprocess.Popen([sys.executable, "-c", script])
+            for _ in range(4)
+        ]
+        assert all(process.wait() == 0 for process in processes)
+        reader = CompactionCache(str(directory))
+        for key in ("alpha", "beta", "gamma"):
+            assert reader.get(key)["key"] == key
+        assert not list(Path(directory).glob("*.lock"))
+        assert not list(Path(directory).glob("*.tmp*"))
