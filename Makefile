@@ -4,10 +4,20 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-smoke docs-check all
+.PHONY: test chaos bench bench-smoke docs-check all
 
 test:
 	$(PY) -m pytest tests/ -q
+
+# The fault-injection suite by itself: seeded FaultPlans (crashes at
+# commit boundaries, torn artifact writes, injected ENOSPC/EIO,
+# SIGKILLed workers, dropped HTTP responses) swept through the live
+# service, with the invariant checker asserting no wedged jobs, no
+# torn artifact served, dedup preserved, and every failure classified
+# (docs/architecture.md section 11).  Included in `make test` too;
+# this target is the fast loop while working on robustness code.
+chaos:
+	$(PY) -m pytest tests/test_service_chaos.py -q
 
 # The glob matters: bench_*.py does not match pytest's default
 # test_*.py collection pattern, so naming the files explicitly is what

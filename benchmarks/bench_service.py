@@ -15,20 +15,54 @@ provide:
   ``service_dedup8`` records the whole fan-in wall time; the measured
   dedup factor is asserted, not just reported.
 
+Two robustness rows ride along (``test_service_backpressure_and_recovery``):
+
+* **backpressure** — the 429 + ``Retry-After`` rejection round trip
+  against a full queue: load-shedding must stay cheap precisely when
+  the service is busiest.  Row ``service_backpressure_429``.
+* **recovery** — ``Store.recover()`` over a ledger full of orphaned
+  ``running`` rows (a hard-killed daemon): the boot-time cost of
+  crash consistency.  Row ``service_recover``.
+
 Timing rows land in ``BENCH_compaction.json`` via the ``record``
 fixture.  Set ``REPRO_BENCH_SMOKE=1`` for the small multiplier size.
 """
 
 import os
+import subprocess
+import sys
 import threading
 import time
 
 from conftest import best_time
 
-from repro.service import JobSpec, LayoutServer, ServiceClient
+from repro.core.errors import ServiceError
+from repro.service import JobSpec, LayoutServer, ServiceClient, Store
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 SIZE = 2 if SMOKE else 3
+
+SAMPLE = """
+cell tiny
+  box metal1 0 0 8 8
+  port a 0 4 metal1
+end
+"""
+
+DESIGN = """
+(mk_instance t tiny)
+(mk_cell "top" t)
+"""
+
+
+def tiny_spec(index):
+    """A submit-only spec (never executed in the robustness rows)."""
+    return JobSpec(
+        kind="custom",
+        sample_text=SAMPLE,
+        design_text=DESIGN,
+        parameters=f"tag_{index}=1\n",
+    )
 
 
 def multiplier_spec(tag, size=SIZE):
@@ -97,3 +131,48 @@ def test_service_cold_warm_and_dedup(tmp_path, report, record):
     # warm answer is a store read, not a pipeline run.
     assert ratio >= 5.0, f"warm resubmit only {ratio:.1f}x faster than cold"
     assert dedup_factor == 8.0
+
+
+def test_service_backpressure_and_recovery(tmp_path, report, record):
+    # backpressure: how fast a full queue sheds load with 429
+    server = LayoutServer(
+        str(tmp_path / "bp"), port=0, workers=1, max_queue_depth=1
+    )
+    server.start()
+    try:
+        server.pool.stop(drain=True)  # nothing drains: the queue stays full
+        client = ServiceClient(server.url, max_retries=0)
+        client.submit(tiny_spec("fill"))
+
+        def rejected():
+            try:
+                client.submit(tiny_spec("reject"))
+            except ServiceError as error:
+                assert "HTTP 429" in str(error), error
+            else:
+                raise AssertionError("full queue accepted a submission")
+
+        reject_s = best_time(rejected, repeats=5)
+        record("service_backpressure_429", 1, reject_s)
+    finally:
+        server.stop(drain=False)
+
+    # recovery: boot-time cost of re-queueing a hard-killed daemon's jobs
+    count = 16 if SMOKE else 64
+    store = Store(str(tmp_path / "recover"))
+    probe = subprocess.Popen([sys.executable, "-c", "pass"])
+    probe.wait()
+    for index in range(count):
+        store.submit(tiny_spec(index))
+    for _ in range(count):
+        store.claim(probe.pid)  # orphaned: claimed by a dead pid
+    started = time.perf_counter()
+    recovered = store.recover()
+    recover_s = time.perf_counter() - started
+    assert len(recovered["requeued"]) == count, recovered
+    record("service_recover", count, recover_s)
+
+    report(
+        f"E-SERVICE robustness: 429 rejection {reject_s * 1000:8.1f} ms,"
+        f" recovery of {count} orphaned job(s) {recover_s * 1000:8.1f} ms"
+    )

@@ -24,10 +24,14 @@ Usage::
     python -m repro submit parameters.par --url http://127.0.0.1:8737 --wait
     python -m repro --version
 
-The ``serve`` and ``submit`` verbs are the layout-as-a-service front
-door (:mod:`repro.service`): ``serve`` runs the job-queue daemon with
-its shared artifact store, ``submit`` sends the same parameter file to
-a running daemon instead of generating locally.
+The ``serve``, ``submit`` and ``gc`` verbs are the layout-as-a-service
+front door (:mod:`repro.service`): ``serve`` runs the job-queue daemon
+with its shared artifact store (recovering orphaned jobs and torn
+artifacts on boot), ``submit`` sends the same parameter file to a
+running daemon instead of generating locally, and ``gc`` evicts
+least-recently-used artifacts and cache entries down to a byte budget
+(``repro gc --root DIR --max-bytes 512M``) without ever touching
+queued or running jobs.
 
 Every failure mode exits with a family-specific code and a one-line
 diagnostic on stderr (no raw tracebacks): 1 generic, 2 usage (argparse),
@@ -371,13 +375,17 @@ def _compact_flow_cell(
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point: the batch flow plus the service verbs."""
     arguments_list = list(sys.argv[1:] if argv is None else argv)
-    if arguments_list and arguments_list[0] in ("serve", "submit"):
+    if arguments_list and arguments_list[0] in ("serve", "submit", "gc"):
         verb, rest = arguments_list[0], arguments_list[1:]
         try:
             if verb == "serve":
                 from .service.server import serve_main
 
                 return serve_main(rest)
+            if verb == "gc":
+                from .service.store import gc_main
+
+                return gc_main(rest)
             from .service.client import submit_main
 
             return submit_main(rest)
@@ -388,9 +396,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regular Structure Generator: design file + sample"
-        " layout + parameter file -> layout.  The 'serve' and 'submit'"
-        " verbs talk to the layout service instead (see 'repro serve"
-        " --help' / 'repro submit --help').",
+        " layout + parameter file -> layout.  The 'serve', 'submit' and"
+        " 'gc' verbs operate the layout service instead (see 'repro"
+        " serve --help' / 'repro submit --help' / 'repro gc --help').",
     )
     from . import __version__
 

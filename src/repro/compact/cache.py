@@ -36,7 +36,7 @@ import pickle
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..core.cell import CellDefinition
 from .rules import DesignRules
@@ -161,6 +161,8 @@ class CacheStats:
     disk_hits: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    locks_broken: int = 0
+    write_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -174,11 +176,21 @@ class CacheStats:
 
     def merge(self, other: "CacheStats") -> None:
         """Accumulate another instance's counters into this one."""
-        self.hits += other.hits
-        self.misses += other.misses
-        self.disk_hits += other.disk_hits
-        self.bytes_read += other.bytes_read
-        self.bytes_written += other.bytes_written
+        for name, value in asdict(other).items():
+            setattr(self, name, getattr(self, name) + value)
+
+    def diff(self, earlier: "CacheStats") -> "CacheStats":
+        """The counter deltas since ``earlier`` (a snapshot of self).
+
+        What a service worker reports fleet-wide after each job: the
+        traffic *that job* caused, not the process lifetime totals.
+        """
+        return CacheStats(
+            **{
+                name: value - getattr(earlier, name)
+                for name, value in asdict(self).items()
+            }
+        )
 
     def to_dict(self) -> Dict[str, int]:
         """Plain-dict form for JSON reports (counters only)."""
@@ -186,7 +198,15 @@ class CacheStats:
 
 
 #: a lock file untouched for this long belongs to a dead writer
+#: (default; per-instance override via ``stale_lock_seconds`` or the
+#: ``REPRO_CACHE_STALE_LOCK_S`` environment variable)
 _STALE_LOCK_SECONDS = 30.0
+
+#: chaos seam — when not ``None``, called as ``chaos_hook(site, **ctx)``
+#: before every disk read/write so the fault-injection harness
+#: (:mod:`repro.service.chaos`) can inject I/O errors without this
+#: module importing the service layer
+chaos_hook: Optional[Callable[..., Any]] = None
 
 
 class CompactionCache:
@@ -205,10 +225,24 @@ class CompactionCache:
     remain as read-only views of it.
     """
 
-    def __init__(self, directory: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        stale_lock_seconds: Optional[float] = None,
+    ) -> None:
+        """``stale_lock_seconds`` overrides the lock-break window (how
+        long an untouched lock file is trusted before it is judged to
+        belong to a dead writer); falls back to the
+        ``REPRO_CACHE_STALE_LOCK_S`` environment variable, then to the
+        30 s default — chaos runs shrink it to exercise the break path
+        deterministically."""
         self.directory: Optional[Path] = Path(directory) if directory else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+        if stale_lock_seconds is None:
+            env = os.environ.get("REPRO_CACHE_STALE_LOCK_S")
+            stale_lock_seconds = float(env) if env else _STALE_LOCK_SECONDS
+        self.stale_lock_seconds = stale_lock_seconds
         self._memory: Dict[str, Any] = {}
         self.cache_stats = CacheStats()
 
@@ -277,6 +311,8 @@ class CompactionCache:
         """
         path = self._path(key)
         try:
+            if chaos_hook is not None:
+                chaos_hook("cache.read_disk", path=str(path))
             payload = path.read_bytes()
             value = pickle.loads(payload)
         except Exception:
@@ -292,7 +328,11 @@ class CompactionCache:
         the same entry at once — the loser skips the disk write (the
         key is a content hash, so both hold the same result).  A lock
         left behind by a crashed writer is broken after
-        ``_STALE_LOCK_SECONDS``.
+        :attr:`stale_lock_seconds` (and counted in
+        ``cache_stats.locks_broken``).  Disk-write failures (a full
+        disk, a dying device) degrade to a memory-only entry and a
+        ``write_errors`` count — the cache is an optimisation, so I/O
+        trouble must never fail the job that was being cached.
         """
         value = copy.deepcopy(value)
         self._memory[key] = value
@@ -302,20 +342,27 @@ class CompactionCache:
         lock = path.with_suffix(".lock")
         if not self._acquire_lock(lock):
             return
+        temporary = path.with_suffix(f".tmp{os.getpid()}")
         try:
+            if chaos_hook is not None:
+                chaos_hook("cache.write_disk", path=str(path))
             payload = pickle.dumps(value)
-            temporary = path.with_suffix(f".tmp{os.getpid()}")
             temporary.write_bytes(payload)
             os.replace(temporary, path)
             self.cache_stats.bytes_written += len(payload)
+        except OSError:
+            self.cache_stats.write_errors += 1
+            try:
+                temporary.unlink()
+            except OSError:
+                pass
         finally:
             try:
                 lock.unlink()
             except OSError:
                 pass
 
-    @staticmethod
-    def _acquire_lock(lock: Path) -> bool:
+    def _acquire_lock(self, lock: Path) -> bool:
         """Try to create ``lock`` exclusively; break it when stale."""
         for _ in range(2):
             try:
@@ -326,15 +373,61 @@ class CompactionCache:
                     age = time.time() - lock.stat().st_mtime
                 except OSError:
                     continue  # holder just released it: retry
-                if age < _STALE_LOCK_SECONDS:
+                if age < self.stale_lock_seconds:
                     return False
                 try:
                     lock.unlink()
+                    self.cache_stats.locks_broken += 1
                 except OSError:
                     return False
             except OSError:
                 return False
         return False
+
+    def evict(self, max_bytes: int) -> Dict[str, int]:
+        """Shrink the on-disk store below ``max_bytes``, LRU by atime.
+
+        Oldest-used entries (access time, falling back to modification
+        time on ``noatime`` mounts) are deleted until the remaining
+        pickles fit the budget; leftover temporaries and stale lock
+        files from crashed writers are removed unconditionally.  The
+        in-memory map is untouched — eviction is a disk-space policy,
+        not an invalidation.  Returns ``{"evicted", "freed_bytes",
+        "kept_bytes"}``.
+        """
+        report = {"evicted": 0, "freed_bytes": 0, "kept_bytes": 0}
+        if self.directory is None:
+            return report
+        entries = []
+        for path in self.directory.iterdir():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if path.suffix == ".pkl":
+                entries.append((max(stat.st_atime, stat.st_mtime), stat.st_size, path))
+            elif ".tmp" in path.suffix or (
+                path.suffix == ".lock"
+                and time.time() - stat.st_mtime > self.stale_lock_seconds
+            ):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        entries.sort()
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            report["evicted"] += 1
+            report["freed_bytes"] += size
+        report["kept_bytes"] = total
+        return report
 
     def stats(self) -> str:
         """One printable line: entries, hits (disk share), misses."""

@@ -22,6 +22,7 @@ __all__ = [
     "SolverConfigurationError",
     "VerificationError",
     "ServiceError",
+    "QueueFullError",
 ]
 
 
@@ -99,3 +100,16 @@ class VerificationError(RsgError):
 
 class ServiceError(RsgError):
     """A malformed or unserviceable layout-service request."""
+
+
+class QueueFullError(ServiceError):
+    """The service queue is at capacity; retry after ``retry_after`` seconds.
+
+    The store raises this from ``submit`` when backpressure is
+    configured (``max_queue_depth``) and the queue is full; the HTTP
+    layer maps it to ``429`` with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

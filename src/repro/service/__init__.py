@@ -19,22 +19,34 @@ pipeline functions in a long-running service:
   crash isolation, and graceful drain;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
   stdlib ``ThreadingHTTPServer`` JSON API (submit / status / result /
-  artifact / health / stats) and a thin ``urllib`` client, exposed as
-  the ``repro serve`` and ``repro submit`` CLI verbs.
+  artifact / health / stats) and a thin ``urllib`` client with capped
+  jittered retry/backoff, exposed as the ``repro serve`` and
+  ``repro submit`` CLI verbs;
+* :mod:`repro.service.chaos` — deterministic, seeded fault injection
+  (crashes, torn writes, disk errors, stalls, dropped connections)
+  behind narrow hook seams, driving the chaos test suite.
 
 Deduplication is end-to-end: N identical concurrent submissions cause
 exactly one pipeline execution, and a warm resubmission is served from
-the store without touching a worker.
+the store without touching a worker.  The service is crash-consistent:
+``Store.recover()`` runs on every boot to re-queue orphaned jobs and
+quarantine torn artifacts, submissions shed load with 429 +
+``Retry-After`` once the queue is full, and ``repro gc``
+(:func:`gc_main`) evicts least-recently-used artifacts down to a byte
+budget without touching live jobs.
 """
 
+from .chaos import FaultPlan, FaultSpec
 from .client import ServiceClient, submit_main
 from .jobs import JobResult, JobSpec, execute_job, fingerprint_spec
 from .server import DEFAULT_PORT, LayoutServer, serve_main
-from .store import Store
+from .store import Store, gc_main
 from .workers import WorkerPool
 
 __all__ = [
     "DEFAULT_PORT",
+    "FaultPlan",
+    "FaultSpec",
     "JobResult",
     "JobSpec",
     "LayoutServer",
@@ -43,6 +55,7 @@ __all__ = [
     "WorkerPool",
     "execute_job",
     "fingerprint_spec",
+    "gc_main",
     "serve_main",
     "submit_main",
 ]

@@ -1,0 +1,308 @@
+"""Deterministic fault injection for the layout service (chaos layer).
+
+The service's robustness claims — no wedged jobs, no torn artifact
+ever served, dedup preserved under failure — are only as good as the
+faults they were tested against.  This module makes fault injection
+*systematic*: a :class:`FaultPlan` is a seeded, serialisable set of
+:class:`FaultSpec` entries, each naming a **site** (a narrow hook seam
+in ``store.py`` / ``workers.py`` / ``server.py`` /
+``compact/cache.py``), an **action**, and a trigger window.  The chaos
+suite (``tests/test_service_chaos.py``) sweeps seeded plans through
+the full submit → execute → artifact flow and asserts the service
+degrades instead of corrupting or wedging.
+
+Sites (the seams the service code calls :func:`fire` at)::
+
+    store.claim.pre_commit      inside the claim transaction (a crash rolls back)
+    store.claim.post_commit     after the claim committed (job running, pid dead)
+    store.complete.pre_artifact before any artifact write
+    store.artifact.write        per-artifact payload seam (torn writes, ENOSPC)
+    store.complete.pre_commit   artifacts on disk, done flip not yet committed
+    store.complete.post_commit  after the done flip committed
+    worker.claimed              a worker holds a claim, pipeline not yet started
+    worker.pre_complete         pipeline done, completion not yet started
+    cache.read_disk             before a compaction-cache disk read
+    cache.write_disk            before a compaction-cache disk write
+    server.request              an HTTP request arrived, not yet handled
+    server.respond              a submission was handled, response not yet sent
+
+Actions::
+
+    raise     raise ``OSError(errno_code)`` — injected ENOSPC / EIO
+    crash     ``os._exit(137)`` — a hard kill at exactly this point
+    sigkill   ``SIGKILL`` to the current process (same effect, real signal)
+    stall     sleep ``seconds`` — a hung worker / slow disk / slow response
+    torn      truncate the payload at this write seam to ``fraction``
+    drop      tell the HTTP handler to close the connection unanswered
+
+Plans are activated per process (:func:`activate`) and propagate to
+worker processes two ways: fork-children inherit the active plan
+directly, and :func:`maybe_load_from_env` — called at every process
+entry point — picks up a JSON plan from the ``REPRO_CHAOS``
+environment variable, so even a ``repro serve`` subprocess can run
+under chaos.  Every trigger is counted (:func:`trip_counts`) so tests
+can assert a fault actually fired.  With no plan active, every seam is
+a no-op costing one ``None`` check.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import random
+import signal
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "ACTIONS",
+    "FaultPlan",
+    "FaultSpec",
+    "activate",
+    "active_plan",
+    "deactivate",
+    "fire",
+    "mangle",
+    "maybe_load_from_env",
+    "trip_counts",
+]
+
+#: environment variable carrying a JSON-encoded plan across processes
+ENV_VAR = "REPRO_CHAOS"
+
+#: the recognised fault actions
+ACTIONS = ("raise", "crash", "sigkill", "stall", "torn", "drop")
+
+#: sites where a payload passes through (the ``torn`` action applies)
+_WRITE_SITES = ("store.artifact.write", "cache.write_disk")
+
+
+@dataclass
+class FaultSpec:
+    """One fault: a site, an action, and a deterministic trigger window.
+
+    The fault triggers on hits ``after < n <= after + times`` of its
+    site (per process), so a plan can hit exactly the second artifact
+    write, or the first three claims, and then get out of the way —
+    which is what lets every chaos run terminate.
+    """
+
+    site: str
+    action: str
+    after: int = 0
+    times: int = 1
+    errno_code: int = errno.ENOSPC
+    seconds: float = 0.25
+    fraction: float = 0.5
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultSpec":
+        """Rebuild a spec from its JSON form, rejecting unknown actions."""
+        spec = cls(**payload)
+        if spec.action not in ACTIONS:
+            raise ValueError(f"unknown fault action {spec.action!r}")
+        return spec
+
+
+#: the menu :meth:`FaultPlan.seeded` draws from — every fault family
+#: the service must degrade under, each bounded so runs terminate
+_MENU: List[FaultSpec] = [
+    FaultSpec("store.claim.pre_commit", "crash"),
+    FaultSpec("store.claim.post_commit", "crash"),
+    FaultSpec("store.complete.pre_commit", "crash"),
+    FaultSpec("store.complete.post_commit", "crash"),
+    FaultSpec("worker.claimed", "sigkill"),
+    FaultSpec("worker.pre_complete", "crash"),
+    FaultSpec("worker.claimed", "stall", seconds=0.4),
+    FaultSpec("store.artifact.write", "torn", fraction=0.5),
+    FaultSpec("store.artifact.write", "raise", errno_code=errno.ENOSPC),
+    FaultSpec("cache.write_disk", "raise", errno_code=errno.ENOSPC),
+    FaultSpec("cache.read_disk", "raise", errno_code=errno.EIO),
+    FaultSpec("server.request", "drop"),
+    FaultSpec("server.respond", "drop"),
+    FaultSpec("server.request", "stall", seconds=0.3),
+]
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible set of faults, addressable by seed.
+
+    ``FaultPlan.seeded(seed)`` deterministically draws 2–4 faults from
+    the menu above with randomised trigger windows; the same seed
+    always yields the same plan, so a failing chaos run is re-runnable
+    bit-for-bit.  Plans round-trip through JSON (``to_json`` /
+    ``from_json``) — the cross-process and on-disk form.
+    """
+
+    faults: List[FaultSpec] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    @classmethod
+    def seeded(cls, seed: int, size: Optional[int] = None) -> "FaultPlan":
+        """The deterministic plan for ``seed``: 2–4 menu faults."""
+        rng = random.Random(seed)
+        count = size if size is not None else rng.randint(2, 4)
+        picks = rng.sample(_MENU, min(count, len(_MENU)))
+        faults = []
+        for pick in picks:
+            faults.append(
+                FaultSpec(
+                    site=pick.site,
+                    action=pick.action,
+                    after=rng.randint(0, 2),
+                    times=rng.randint(1, 2),
+                    errno_code=pick.errno_code,
+                    seconds=pick.seconds,
+                    fraction=rng.choice((0.25, 0.5, 0.9)),
+                )
+            )
+        return cls(faults=faults, seed=seed)
+
+    def to_json(self) -> str:
+        """Serialise the plan (the ``REPRO_CHAOS`` wire format)."""
+        return json.dumps(
+            {"seed": self.seed, "faults": [fault.to_dict() for fault in self.faults]}
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        return cls(
+            faults=[FaultSpec.from_dict(entry) for entry in payload["faults"]],
+            seed=payload.get("seed"),
+        )
+
+    def describe(self) -> str:
+        """One line per fault, for chaos-run logs."""
+        lines = [
+            f"{fault.site}: {fault.action}"
+            f" (after {fault.after}, x{fault.times})"
+            for fault in self.faults
+        ]
+        return "; ".join(lines) or "no faults"
+
+
+# ----------------------------------------------------------------------
+# per-process activation state
+
+_plan: Optional[FaultPlan] = None
+_hits: Dict[str, int] = {}
+_trips: Dict[str, int] = {}
+
+
+def activate(plan: FaultPlan, env: bool = False) -> None:
+    """Install ``plan`` in this process (and, with ``env``, descendants).
+
+    Installs the cache seam hook and resets the per-process hit
+    counters.  ``env=True`` additionally exports the plan as
+    ``REPRO_CHAOS`` so subprocesses that call
+    :func:`maybe_load_from_env` (worker loops, ``repro serve``) pick
+    it up even across an exec boundary; fork children inherit the
+    in-memory plan either way.
+    """
+    global _plan
+    _plan = plan
+    _hits.clear()
+    _trips.clear()
+    from ..compact import cache as cache_module
+
+    cache_module.chaos_hook = fire
+    if env:
+        os.environ[ENV_VAR] = plan.to_json()
+
+
+def deactivate() -> None:
+    """Remove the active plan, the cache hook, and the env export."""
+    global _plan
+    _plan = None
+    _hits.clear()
+    _trips.clear()
+    from ..compact import cache as cache_module
+
+    cache_module.chaos_hook = None
+    os.environ.pop(ENV_VAR, None)
+
+
+def maybe_load_from_env() -> None:
+    """Activate the ``REPRO_CHAOS`` plan if one is set and none is active.
+
+    Called at process entry points (worker loop, server boot); a no-op
+    when chaos is not in play, so production paths pay nothing.
+    """
+    if _plan is None and os.environ.get(ENV_VAR):
+        activate(FaultPlan.from_json(os.environ[ENV_VAR]))
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan installed in this process, or ``None``."""
+    return _plan
+
+
+def trip_counts() -> Dict[str, int]:
+    """``site -> times a fault actually triggered`` in this process."""
+    return dict(_trips)
+
+
+def fire(site: str, **context: Any) -> Optional[Dict[str, Any]]:
+    """The seam: consult the plan at ``site`` and act.
+
+    Returns ``None`` (no fault, or none due at this hit), raises the
+    injected ``OSError``, never returns (``crash`` / ``sigkill``),
+    sleeps (``stall``), or returns a directive dict the call site
+    cooperates with: ``{"torn": fraction}`` at write seams,
+    ``{"drop": True}`` at HTTP seams.  Hit windows are counted per
+    site per process.
+    """
+    if _plan is None:
+        return None
+    due = None
+    hit = _hits.get(site, 0) + 1
+    _hits[site] = hit
+    for fault in _plan.faults:
+        if fault.site == site and fault.after < hit <= fault.after + fault.times:
+            due = fault
+            break
+    if due is None:
+        return None
+    _trips[site] = _trips.get(site, 0) + 1
+    if due.action == "raise":
+        name = errno.errorcode.get(due.errno_code, str(due.errno_code))
+        raise OSError(due.errno_code, f"injected {name} at {site}")
+    if due.action == "crash":
+        os._exit(137)
+    if due.action == "sigkill":
+        os.kill(os.getpid(), signal.SIGKILL)
+        time.sleep(5.0)  # the signal is asynchronous; never proceed past it
+    if due.action == "stall":
+        time.sleep(due.seconds)
+        return None
+    if due.action == "torn":
+        return {"torn": due.fraction}
+    if due.action == "drop":
+        return {"drop": True}
+    return None
+
+
+def mangle(site: str, payload: bytes) -> bytes:
+    """Payload-write seam: apply ``torn`` truncation (or raise/crash).
+
+    Call sites about to persist ``payload`` route it through here;
+    with no plan (or no due fault) the payload passes through
+    untouched.  A ``torn`` fault returns a truncated prefix —
+    simulating a partial write published by a non-atomic filesystem —
+    which the store's sidecar digests must catch before the bytes are
+    ever served.
+    """
+    directive = fire(site, size=len(payload))
+    if directive and "torn" in directive:
+        keep = max(1, int(len(payload) * directive["torn"]))
+        return payload[:keep]
+    return payload

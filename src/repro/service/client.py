@@ -1,8 +1,21 @@
-"""The thin client: talk to a layout service over HTTP.
+"""The thin client: talk to a layout service over HTTP, resiliently.
 
 :class:`ServiceClient` wraps ``urllib.request`` — submit, poll, fetch
 — raising :class:`~repro.core.errors.ServiceError` with the server's
-diagnostic on any failure, so callers never parse HTTP by hand.
+diagnostic on any failure, so callers never parse HTTP by hand.  It
+carries the client half of the service's robustness contract:
+
+* **backpressure** — a 429 answer is retried after the server's
+  ``Retry-After`` (or a capped, jittered exponential backoff when the
+  header is absent), up to ``max_retries`` attempts;
+* **idempotent resubmit** — a dropped connection or lost response is
+  retried with the same backoff; this is safe even for ``POST /jobs``
+  because job identity is the content fingerprint, so a resubmission
+  deduplicates server-side instead of double-running;
+* **polite polling** — :meth:`wait` backs off exponentially (capped
+  at ``max_poll_interval``) instead of hammering the service at a
+  fixed 50 ms.
+
 ``submit_main`` is the ``repro submit`` CLI verb: it takes the *same*
 parameter file the batch CLI takes, embeds the sample/design texts the
 file's directives point at (a submission is self-contained — the
@@ -13,53 +26,139 @@ submit → wait → download.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..core.errors import ServiceError
 from .jobs import JobSpec
 
 __all__ = ["ServiceClient", "submit_main"]
 
+#: connection-level failures a retry can heal: the server restarting,
+#: a dropped response, a reset mid-flight
+_RETRYABLE_OS_ERRORS = (
+    ConnectionResetError,
+    ConnectionRefusedError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+)
+
 
 class ServiceClient:
-    """HTTP client for one layout-service endpoint."""
+    """HTTP client for one layout-service endpoint.
 
-    def __init__(self, url: str, timeout: float = 10.0) -> None:
+    ``max_retries`` bounds how often one logical request is retried
+    across 429 backpressure answers and dropped connections;
+    ``backoff`` seeds the exponential delay, capped at
+    ``backoff_cap`` and jittered ±25 % so a fleet of rejected clients
+    does not return in lockstep.  ``max_retries=0`` restores the old
+    fail-fast behaviour.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 10.0,
+        max_retries: int = 5,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+    ) -> None:
         """``url`` is the service base URL, e.g. ``http://127.0.0.1:8737``."""
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.retries = 0  # observability: how often this client retried
+        self._sleep = time.sleep  # seam for tests
+        self._rng = random.Random()
+
+    def _jittered(self, delay: float) -> float:
+        """``delay`` within the cap, ±25 % jitter (never negative)."""
+        capped = min(delay, self.backoff_cap)
+        return max(0.0, capped * self._rng.uniform(0.75, 1.25))
 
     def _request(
         self,
         path: str,
         payload: Optional[Dict[str, Any]] = None,
         raw: bool = False,
+        accept: Tuple[int, ...] = (),
     ) -> Any:
-        request = urllib.request.Request(self.url + path)
+        """One logical request with retry/backoff (see class docstring).
+
+        ``accept`` lists non-2xx statuses whose JSON body should be
+        *returned* rather than raised — ``health()`` accepts the 503
+        degraded answer, for example.
+        """
+        data = header = None
         if payload is not None:
-            request.data = json.dumps(payload).encode("utf-8")
-            request.add_header("Content-Type", "application/json")
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                body = response.read()
-        except urllib.error.HTTPError as error:
-            detail = ""
+            data = json.dumps(payload).encode("utf-8")
+            header = {"Content-Type": "application/json"}
+        delay = self.backoff
+        attempt = 0
+        while True:
+            request = urllib.request.Request(self.url + path, data=data)
+            for name, value in (header or {}).items():
+                request.add_header(name, value)
             try:
-                detail = json.loads(error.read()).get("error", "")
-            except Exception:  # noqa: BLE001 — best-effort diagnostics
-                pass
-            raise ServiceError(
-                f"{request.get_method()} {path}: HTTP {error.code}"
-                + (f": {detail}" if detail else "")
-            ) from None
-        except urllib.error.URLError as error:
-            raise ServiceError(
-                f"cannot reach layout service at {self.url}: {error.reason}"
-            ) from None
-        return body if raw else json.loads(body)
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    body = response.read()
+                return body if raw else json.loads(body)
+            except urllib.error.HTTPError as error:
+                body = error.read()
+                if error.code in accept:
+                    return body if raw else json.loads(body)
+                if error.code == 429 and attempt < self.max_retries:
+                    retry_after = self._retry_after(error)
+                    wait = self._jittered(
+                        retry_after if retry_after is not None else delay
+                    )
+                    attempt += 1
+                    self.retries += 1
+                    self._sleep(wait)
+                    delay = min(self.backoff_cap, delay * 2)
+                    continue
+                detail = ""
+                try:
+                    detail = json.loads(body).get("error", "")
+                except Exception:  # noqa: BLE001 — best-effort diagnostics
+                    pass
+                raise ServiceError(
+                    f"{request.get_method()} {path}: HTTP {error.code}"
+                    + (f": {detail}" if detail else "")
+                ) from None
+            except OSError as error:  # URLError, resets, timeouts
+                reason = getattr(error, "reason", error)
+                retryable = isinstance(
+                    (reason if isinstance(reason, BaseException) else error),
+                    _RETRYABLE_OS_ERRORS,
+                )
+                if retryable and attempt < self.max_retries:
+                    attempt += 1
+                    self.retries += 1
+                    self._sleep(self._jittered(delay))
+                    delay = min(self.backoff_cap, delay * 2)
+                    continue
+                raise ServiceError(
+                    f"cannot reach layout service at {self.url}: {reason}"
+                ) from None
+
+    @staticmethod
+    def _retry_after(error: urllib.error.HTTPError) -> Optional[float]:
+        """The server's ``Retry-After`` header in seconds, if parseable."""
+        value = error.headers.get("Retry-After") if error.headers else None
+        if value is None:
+            return None
+        try:
+            return max(0.0, float(value))
+        except ValueError:
+            return None
 
     def submit(self, spec: Union[JobSpec, Dict[str, Any]]) -> Dict[str, Any]:
         """Submit a spec; returns ``{job, state, deduplicated}``."""
@@ -75,15 +174,23 @@ class ServiceClient:
         return self._request(f"/jobs/{job}/result")
 
     def wait(
-        self, job: str, timeout: float = 120.0, poll_interval: float = 0.05
+        self,
+        job: str,
+        timeout: float = 120.0,
+        poll_interval: float = 0.05,
+        max_poll_interval: float = 2.0,
     ) -> Dict[str, Any]:
         """Poll until the job finishes; raise on failure or deadline.
 
         Returns the full result payload of a ``done`` job.  A
         ``failed`` job raises :class:`ServiceError` carrying the
-        job's recorded error.
+        job's recorded error.  Polling starts at ``poll_interval``
+        and doubles after every still-pending answer, capped at
+        ``max_poll_interval`` — fast completion stays fast, a long
+        queue does not get hammered at 50 ms.
         """
         deadline = time.monotonic() + timeout
+        interval = poll_interval
         while True:
             result = self.result(job)
             state = result.get("state")
@@ -97,15 +204,16 @@ class ServiceClient:
                 raise ServiceError(
                     f"job {job} still {state} after {timeout:g}s"
                 )
-            time.sleep(poll_interval)
+            self._sleep(min(interval, max(0.0, deadline - time.monotonic())))
+            interval = min(max_poll_interval, interval * 2)
 
     def artifact(self, job: str, name: str) -> bytes:
         """Download one artifact (``layout.cif`` or ``result.json``)."""
         return self._request(f"/jobs/{job}/artifact/{name}", raw=True)
 
     def health(self) -> Dict[str, Any]:
-        """The ``/healthz`` liveness payload."""
-        return self._request("/healthz")
+        """The ``/healthz`` payload — returned even when degraded (503)."""
+        return self._request("/healthz", accept=(503,))
 
     def stats(self) -> Dict[str, Any]:
         """The ``/stats`` observability payload."""

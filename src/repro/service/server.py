@@ -3,12 +3,17 @@
 Endpoints (all JSON unless noted)::
 
     POST /jobs                   submit a job spec -> {job, state, deduplicated}
+                                 (429 + Retry-After when the queue is full)
     GET  /jobs/<fp>              job status
     GET  /jobs/<fp>/result       result.json + status (202 while pending)
-    GET  /jobs/<fp>/artifact/<name>  raw artifact bytes (layout.cif, result.json)
-    GET  /healthz                liveness probe
+    GET  /jobs/<fp>/artifact/<name>  digest-verified artifact bytes
+                                 (layout.cif, result.json; a torn artifact
+                                 quarantines and answers 404)
+    GET  /healthz                liveness + degradation (503 with reasons
+                                 when workers are down or the queue is full)
     GET  /stats                  queue depth, dedup factor, cache hit rate,
-                                 per-stage latencies, worker head-count
+                                 per-stage latencies, worker head-count,
+                                 robustness counters
 
 Built on ``http.server.ThreadingHTTPServer`` — no third-party
 dependencies — with the deduplication contract implemented in the
@@ -27,7 +32,8 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional
 
-from ..core.errors import ServiceError
+from ..core.errors import QueueFullError, ServiceError
+from . import chaos
 from .jobs import JobSpec
 from .store import Store
 from .workers import WorkerPool
@@ -54,11 +60,18 @@ class _Handler(BaseHTTPRequestHandler):
                 "%s - %s\n" % (self.address_string(), format % args)
             )
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -70,7 +83,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(payload)
 
     def do_POST(self) -> None:  # noqa: N802 — http.server contract
-        """POST /jobs: submit a job spec."""
+        """POST /jobs: submit a job spec (429 + Retry-After when full)."""
+        directive = chaos.fire("server.request", path=self.path)
+        if directive and directive.get("drop"):
+            self.close_connection = True
+            return
         if self.path.rstrip("/") != "/jobs":
             self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
             return
@@ -79,22 +96,40 @@ class _Handler(BaseHTTPRequestHandler):
             payload = json.loads(self.rfile.read(length) or b"{}")
             spec = JobSpec.from_dict(payload)
             submitted = self.service.store.submit(spec)
+        except QueueFullError as error:
+            self._send_json(
+                429,
+                {"error": str(error), "retry_after": error.retry_after},
+                headers={"Retry-After": f"{error.retry_after:g}"},
+            )
+            return
         except (ServiceError, ValueError) as error:
             self._send_json(400, {"error": str(error)})
+            return
+        directive = chaos.fire("server.respond", path=self.path)
+        if directive and directive.get("drop"):
+            # the submission took effect; the lost response is what the
+            # client's idempotent resubmit exists for
+            self.close_connection = True
             return
         self._send_json(200, submitted)
 
     def do_GET(self) -> None:  # noqa: N802 — http.server contract
         """GET routing: status, result, artifacts, health, stats."""
+        directive = chaos.fire("server.request", path=self.path)
+        if directive and directive.get("drop"):
+            self.close_connection = True
+            return
         parts = [part for part in self.path.split("/") if part]
         try:
             if parts == ["healthz"]:
-                self._send_json(200, {"ok": True, "workers": self.service.pool.alive_workers()})
+                self._healthz()
             elif parts == ["stats"]:
                 stats = self.service.store.stats()
                 stats["workers"] = self.service.pool.alive_workers()
                 stats["timeouts"] = self.service.pool.timeouts
                 stats["crashes"] = self.service.pool.crashes
+                stats["respawns"] = self.service.pool.respawns
                 self._send_json(200, stats)
             elif len(parts) == 2 and parts[0] == "jobs":
                 self._job_status(parts[1])
@@ -106,6 +141,39 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
         except ServiceError as error:
             self._send_json(400, {"error": str(error)})
+
+    def _healthz(self) -> None:
+        """Liveness plus degradation: non-200 when the service is impaired.
+
+        Healthy is 200 ``{"ok": true}``.  Degraded — fewer live workers
+        than configured, or a full queue — is 503 with the reasons
+        listed, so probes and load balancers can act on *why*.  The
+        recovery counters (quarantined artifacts, recovery re-queues,
+        dead-worker respawns) ride along as context without flipping
+        the status by themselves: they record survived incidents, not
+        a current impairment.
+        """
+        pool = self.service.pool
+        store = self.service.store
+        alive = pool.alive_workers()
+        depth = store.queue_depth()
+        degraded = []
+        if alive < pool.workers:
+            degraded.append(f"workers: {alive}/{pool.workers} alive")
+        if store.max_queue_depth is not None and depth >= store.max_queue_depth:
+            degraded.append(f"queue full: {depth}/{store.max_queue_depth}")
+        payload = {
+            "ok": not degraded,
+            "workers": alive,
+            "workers_configured": pool.workers,
+            "queue_depth": depth,
+            "max_queue_depth": store.max_queue_depth,
+            "respawns": pool.respawns,
+            "quarantined": store.counter("quarantined"),
+            "recovery_requeued": store.counter("recovery_requeued"),
+            "degraded": degraded,
+        }
+        self._send_json(200 if not degraded else 503, payload)
 
     def _job_status(self, fingerprint: str) -> None:
         status = self.service.store.status(fingerprint)
@@ -151,18 +219,26 @@ class LayoutServer:
         job_timeout: float = 300.0,
         max_attempts: int = 2,
         poll_interval: float = 0.05,
+        max_queue_depth: Optional[int] = None,
         verbose: bool = False,
     ) -> None:
-        """Create the daemon (nothing runs until :meth:`start`)."""
+        """Create the daemon (nothing runs until :meth:`start`).
+
+        ``max_queue_depth`` enables backpressure: submissions past it
+        answer 429 with a ``Retry-After`` header instead of queueing.
+        """
+        chaos.maybe_load_from_env()
         self.pool = WorkerPool(
             root,
             workers=workers,
             job_timeout=job_timeout,
             max_attempts=max_attempts,
             poll_interval=poll_interval,
+            max_queue_depth=max_queue_depth,
         )
         self.store: Store = self.pool.store
         self.verbose = verbose
+        self.recovery: Optional[Dict[str, Any]] = None
         handler = type("BoundHandler", (_Handler,), {"service": self})
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
@@ -174,7 +250,15 @@ class LayoutServer:
         return f"http://{host}:{port}"
 
     def start(self) -> None:
-        """Start the worker pool and serve HTTP on a background thread."""
+        """Recover the store, start the pool, serve HTTP in a thread.
+
+        The recovery pass (:meth:`Store.recover`) runs *before* any
+        worker: orphaned ``running`` rows from a hard-killed previous
+        daemon re-queue, torn artifacts quarantine — the boot is what
+        makes a crash of the last boot consistent.  Its report is kept
+        as :attr:`recovery`.
+        """
+        self.recovery = self.store.recover()
         self.pool.start()
         self._thread = threading.Thread(
             target=self.httpd.serve_forever,
@@ -244,6 +328,11 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         " for good (default: 2)",
     )
     parser.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="backpressure: reject new submissions with 429 + Retry-After"
+        " once N jobs are queued (default: unbounded)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log HTTP requests to stderr"
     )
     arguments = parser.parse_args(argv)
@@ -251,6 +340,8 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         parser.error("--workers must be at least 1")
     if arguments.job_timeout <= 0:
         parser.error("--job-timeout must be positive")
+    if arguments.max_queue is not None and arguments.max_queue < 1:
+        parser.error("--max-queue must be at least 1")
 
     try:
         server = LayoutServer(
@@ -260,6 +351,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
             workers=arguments.workers,
             job_timeout=arguments.job_timeout,
             max_attempts=arguments.max_attempts,
+            max_queue_depth=arguments.max_queue,
             verbose=arguments.verbose,
         )
     except OSError as error:
@@ -281,6 +373,13 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         f" {arguments.workers} worker(s))",
         flush=True,
     )
+    recovery = server.recovery or {}
+    if recovery.get("requeued") or recovery.get("quarantined"):
+        print(
+            f"recovered: {len(recovery['requeued'])} job(s) re-queued,"
+            f" {len(recovery['quarantined'])} artifact set(s) quarantined",
+            flush=True,
+        )
     try:
         stop_requested.wait()
     finally:

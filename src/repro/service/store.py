@@ -20,16 +20,34 @@ dedup factor.
 
 Artifacts are written through temporary files and ``os.replace`` and
 the job row flips to ``done`` only afterwards, so a reader that sees
-``done`` always finds complete artifacts.  Counters from every
-worker's :class:`~repro.compact.cache.CacheStats` accumulate in the
+``done`` always finds complete artifacts.  Each artifact also gets a
+sidecar SHA-256 digest (``<name>.sha256``) of its intended bytes:
+downloads verify it before serving, so a torn artifact — out-of-band
+corruption, a partial write published by a non-atomic filesystem — is
+**quarantined** (moved under ``<root>/quarantine/``) and answered 404
+rather than ever served.  :meth:`Store.recover` is the
+crash-consistent boot pass: it re-queues ``running`` rows whose
+worker pid is dead and quarantines/re-queues ``done`` jobs with torn
+or missing artifacts, leaving the ledger consistent after any hard
+kill.  ``max_queue_depth`` adds backpressure — a full queue rejects
+new work with :class:`~repro.core.errors.QueueFullError` (HTTP 429 +
+``Retry-After``) instead of growing without bound — and
+:meth:`Store.evict` is the GC half: LRU-by-atime artifact eviction
+under a byte budget that refuses to touch queued/running jobs.
+
+Counters from every worker's
+:class:`~repro.compact.cache.CacheStats` accumulate in the
 ``counters`` table — that is what the ``/stats`` endpoint reports as
-the fleet-wide cache hit rate.
+the fleet-wide cache hit rate — alongside the robustness counters
+(``backpressure_rejections``, ``quarantined``, ``recovery_requeued``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import shutil
 import sqlite3
 import time
 from contextlib import contextmanager
@@ -37,10 +55,11 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..compact.cache import CacheStats, CompactionCache
-from ..core.errors import ServiceError
+from ..core.errors import QueueFullError, ServiceError
+from . import chaos
 from .jobs import JobResult, JobSpec
 
-__all__ = ["Store"]
+__all__ = ["Store", "gc_main"]
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -48,6 +67,7 @@ CREATE TABLE IF NOT EXISTS jobs (
     spec        TEXT NOT NULL,
     state       TEXT NOT NULL,
     error       TEXT,
+    error_code  INTEGER,
     attempts    INTEGER NOT NULL DEFAULT 0,
     executions  INTEGER NOT NULL DEFAULT 0,
     submissions INTEGER NOT NULL DEFAULT 0,
@@ -72,6 +92,26 @@ CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, submitted_at);
 ARTIFACT_NAMES = ("layout.cif", "result.json")
 
 
+def _digest(payload: bytes) -> str:
+    """The sidecar digest of an artifact's intended bytes."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _pid_alive(pid: Optional[int]) -> bool:
+    """Whether ``pid`` names a live process on this host."""
+    if not pid:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
 class Store:
     """SQLite-backed job ledger plus on-disk artifacts and shared cache.
 
@@ -81,16 +121,35 @@ class Store:
     workers can never both claim one job.
     """
 
-    def __init__(self, root: str, max_attempts: int = 2) -> None:
+    def __init__(
+        self,
+        root: str,
+        max_attempts: int = 2,
+        max_queue_depth: Optional[int] = None,
+        retry_after: float = 1.0,
+    ) -> None:
         """``root`` is created on first use; ``max_attempts`` bounds the
-        retry of transiently failed (crashed-worker) jobs."""
+        retry of transiently failed (crashed-worker) jobs.
+        ``max_queue_depth`` enables backpressure: a submission that
+        would queue past it raises
+        :class:`~repro.core.errors.QueueFullError` advising clients to
+        retry after ``retry_after`` seconds (``None`` = unbounded, the
+        historical behaviour)."""
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         (self.root / "artifacts").mkdir(exist_ok=True)
         self.max_attempts = max_attempts
+        self.max_queue_depth = max_queue_depth
+        self.retry_after = retry_after
         self._db = self.root / "jobs.sqlite"
         with self._connect() as connection:
             connection.executescript(_SCHEMA)
+            columns = {
+                row["name"]
+                for row in connection.execute("PRAGMA table_info(jobs)")
+            }
+            if "error_code" not in columns:  # pre-robustness ledger
+                connection.execute("ALTER TABLE jobs ADD COLUMN error_code INTEGER")
 
     @contextmanager
     def _connect(self) -> Iterator[sqlite3.Connection]:
@@ -120,35 +179,64 @@ class Store:
         whatever its state — a ``done`` job is served straight from the
         store, a ``queued``/``running`` one is joined, and a ``failed``
         one is re-queued for a fresh set of attempts.
+
+        When ``max_queue_depth`` is set, a submission that would add a
+        *new* queue entry (a fresh job or a failed-job re-queue) while
+        the queue is full raises
+        :class:`~repro.core.errors.QueueFullError` instead — attaching
+        to an existing queued/running/done row is always allowed, so
+        backpressure never breaks deduplication.
         """
         fingerprint = spec.fingerprint
         now = time.time()
+        queue_full = False
         with self._connect() as connection:
             connection.execute("BEGIN IMMEDIATE")
             row = connection.execute(
                 "SELECT state FROM jobs WHERE fingerprint = ?", (fingerprint,)
             ).fetchone()
-            if row is None:
+            state = row["state"] if row is not None else None
+            if state in (None, "failed") and self._queue_is_full(connection):
+                queue_full = True
+            elif row is None:
                 connection.execute(
                     "INSERT INTO jobs (fingerprint, spec, state, submissions,"
                     " submitted_at) VALUES (?, ?, 'queued', 1, ?)",
                     (fingerprint, json.dumps(spec.to_dict()), now),
                 )
                 return {"job": fingerprint, "state": "queued", "deduplicated": False}
-            state = row["state"]
-            if state == "failed":
+            elif state == "failed":
                 connection.execute(
                     "UPDATE jobs SET state = 'queued', error = NULL,"
-                    " attempts = 0, submissions = submissions + 1,"
+                    " error_code = NULL, attempts = 0,"
+                    " submissions = submissions + 1,"
                     " submitted_at = ?, worker_pid = NULL WHERE fingerprint = ?",
                     (now, fingerprint),
                 )
                 return {"job": fingerprint, "state": "queued", "deduplicated": False}
-            connection.execute(
-                "UPDATE jobs SET submissions = submissions + 1 WHERE fingerprint = ?",
-                (fingerprint,),
-            )
-            return {"job": fingerprint, "state": state, "deduplicated": True}
+            else:
+                connection.execute(
+                    "UPDATE jobs SET submissions = submissions + 1"
+                    " WHERE fingerprint = ?",
+                    (fingerprint,),
+                )
+                return {"job": fingerprint, "state": state, "deduplicated": True}
+        assert queue_full
+        self.bump("backpressure_rejections")
+        raise QueueFullError(
+            f"queue is full ({self.max_queue_depth} job(s) waiting);"
+            f" retry in {self.retry_after:g}s",
+            retry_after=self.retry_after,
+        )
+
+    def _queue_is_full(self, connection: sqlite3.Connection) -> bool:
+        """Whether the queued backlog is at the configured limit."""
+        if self.max_queue_depth is None:
+            return False
+        depth = connection.execute(
+            "SELECT COUNT(*) FROM jobs WHERE state = 'queued'"
+        ).fetchone()[0]
+        return depth >= self.max_queue_depth
 
     # ------------------------------------------------------------------
     # the worker side
@@ -174,27 +262,44 @@ class Store:
                 " executions = executions + 1 WHERE fingerprint = ?",
                 (worker_pid, time.time(), row["fingerprint"]),
             )
-            return row["fingerprint"], JobSpec.from_dict(json.loads(row["spec"]))
+            chaos.fire("store.claim.pre_commit")  # crash here: claim rolls back
+        chaos.fire("store.claim.post_commit")  # crash here: running row, dead pid
+        return row["fingerprint"], JobSpec.from_dict(json.loads(row["spec"]))
 
     def complete(self, fingerprint: str, result: JobResult) -> None:
         """Persist ``result``'s artifacts, then mark the job ``done``.
 
         Artifact writes happen *before* the state flip, each through a
         temporary file and ``os.replace``, so a client that observes
-        ``done`` can always download complete artifacts.
+        ``done`` can always download complete artifacts.  A sidecar
+        SHA-256 of the intended bytes is written *before* each
+        artifact: a later read that does not match it (out-of-band
+        corruption, a torn write on a filesystem without atomic
+        rename) is detected and quarantined rather than served.
         """
+        chaos.fire("store.complete.pre_artifact")
         directory = self.artifact_dir(fingerprint)
         directory.mkdir(parents=True, exist_ok=True)
-        self._write_atomic(directory / "layout.cif", result.cif.encode("utf-8"))
-        self._write_atomic(
-            directory / "result.json",
-            (json.dumps(result.to_dict(), indent=2) + "\n").encode("utf-8"),
-        )
+        payloads = {
+            "layout.cif": result.cif.encode("utf-8"),
+            "result.json": (
+                json.dumps(result.to_dict(), indent=2) + "\n"
+            ).encode("utf-8"),
+        }
+        for name, payload in payloads.items():
+            self._write_atomic(
+                directory / f"{name}.sha256",
+                (_digest(payload) + "\n").encode("ascii"),
+            )
+            self._write_atomic(
+                directory / name,
+                chaos.mangle("store.artifact.write", payload),
+            )
         with self._connect() as connection:
             connection.execute("BEGIN IMMEDIATE")
             connection.execute(
-                "UPDATE jobs SET state = 'done', error = NULL, finished_at = ?,"
-                " worker_pid = NULL WHERE fingerprint = ?",
+                "UPDATE jobs SET state = 'done', error = NULL, error_code = NULL,"
+                " finished_at = ?, worker_pid = NULL WHERE fingerprint = ?",
                 (time.time(), fingerprint),
             )
             connection.executemany(
@@ -204,6 +309,8 @@ class Store:
                     for stage, seconds in result.timings.items()
                 ],
             )
+            chaos.fire("store.complete.pre_commit")  # crash: artifacts, no flip
+        chaos.fire("store.complete.post_commit")
 
     def fail(
         self,
@@ -211,6 +318,7 @@ class Store:
         error: str,
         retry: bool = False,
         expect_pid: Optional[int] = None,
+        code: Optional[int] = None,
     ) -> Optional[str]:
         """Record a failure; returns the job's resulting state.
 
@@ -220,6 +328,9 @@ class Store:
         the job is still running under that pid — ``None`` is returned
         (and nothing changes) when it is not, so a job whose worker
         finished or was re-judged a heartbeat ago is left alone.
+        ``code`` is the CLI exit-code family of the failure
+        (:func:`repro.cli.exit_code_for`), recorded on the terminal
+        ``failed`` row so every surfaced failure is classifiable.
         """
         with self._connect() as connection:
             connection.execute("BEGIN IMMEDIATE")
@@ -243,8 +354,8 @@ class Store:
                 return "queued"
             connection.execute(
                 "UPDATE jobs SET state = 'failed', worker_pid = NULL,"
-                " error = ?, finished_at = ? WHERE fingerprint = ?",
-                (error, time.time(), fingerprint),
+                " error = ?, error_code = ?, finished_at = ? WHERE fingerprint = ?",
+                (error, code, time.time(), fingerprint),
             )
             return "failed"
 
@@ -295,23 +406,234 @@ class Store:
         return self.root / "artifacts" / fingerprint
 
     def artifact_bytes(self, fingerprint: str, name: str) -> Optional[bytes]:
-        """One artifact's raw bytes, or ``None`` when absent.
+        """One artifact's verified raw bytes, or ``None`` when absent.
 
         ``name`` must be a known artifact file — arbitrary paths are
         rejected so the HTTP layer cannot be walked out of the store.
+        When a sidecar digest exists, the payload is verified against
+        it before being served: a mismatch (a torn or corrupted
+        artifact) quarantines the whole artifact directory and returns
+        ``None`` — the no-torn-artifact-is-ever-served invariant.
         """
         if name not in ARTIFACT_NAMES:
             raise ServiceError(
                 f"unknown artifact {name!r} (available: {', '.join(ARTIFACT_NAMES)})"
             )
-        path = self.artifact_dir(fingerprint) / name
+        directory = self.artifact_dir(fingerprint)
         try:
-            return path.read_bytes()
+            payload = (directory / name).read_bytes()
         except OSError:
             return None
+        try:
+            expected = (directory / f"{name}.sha256").read_text("ascii").strip()
+        except OSError:
+            return payload  # pre-digest artifact: serve as before
+        if _digest(payload) != expected:
+            self.quarantine(fingerprint, reason=f"digest mismatch on {name}")
+            return None
+        return payload
+
+    def quarantine(self, fingerprint: str, reason: str = "") -> Optional[Path]:
+        """Move a job's artifacts out of serving range; returns the spot.
+
+        The directory lands under ``<root>/quarantine/<fingerprint>``
+        (merged over any earlier quarantine of the same job) for
+        post-mortem inspection, and the ``quarantined`` counter is
+        bumped — ``/healthz`` reports it as a degraded signal.
+        """
+        source = self.artifact_dir(fingerprint)
+        if not source.exists():
+            return None
+        target = self.root / "quarantine" / fingerprint
+        if target.exists():
+            shutil.rmtree(target, ignore_errors=True)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(source, target)
+        except OSError:
+            shutil.rmtree(source, ignore_errors=True)
+        self.bump("quarantined")
+        return target
+
+    # ------------------------------------------------------------------
+    # crash-consistent recovery and GC
+
+    def recover(self) -> Dict[str, Any]:
+        """Make the ledger consistent after a hard kill; run at boot.
+
+        Two passes, both idempotent:
+
+        * **orphaned claims** — ``running`` rows whose worker pid is no
+          longer alive (the daemon was SIGKILLed, the host rebooted)
+          are re-queued as transient failures, or failed for good once
+          ``max_attempts`` is exhausted;
+        * **artifact integrity** — every ``done`` job's artifacts are
+          verified against their sidecar digests; a torn or missing
+          artifact quarantines the directory and re-queues the job for
+          a fresh execution (content-addressed jobs are always safely
+          recomputable).
+
+        Returns ``{"requeued", "failed", "quarantined"}`` fingerprint
+        lists and accumulates the ``recovery_requeued`` /
+        ``quarantined`` counters that ``/healthz`` reports.
+        """
+        report: Dict[str, Any] = {"requeued": [], "failed": [], "quarantined": []}
+        for job in self.running_jobs():
+            pid = job["worker_pid"]
+            if _pid_alive(pid):
+                continue
+            state = self.fail(
+                job["fingerprint"],
+                f"worker (pid {pid}) lost before restart",
+                retry=True,
+                expect_pid=pid,
+                code=70,
+            )
+            if state == "queued":
+                report["requeued"].append(job["fingerprint"])
+            elif state == "failed":
+                report["failed"].append(job["fingerprint"])
+        with self._connect() as connection:
+            done = [
+                row["fingerprint"]
+                for row in connection.execute(
+                    "SELECT fingerprint FROM jobs WHERE state = 'done'"
+                )
+            ]
+        for fingerprint in done:
+            if self._artifacts_intact(fingerprint):
+                continue
+            self.quarantine(fingerprint, reason="recovery integrity check")
+            report["quarantined"].append(fingerprint)
+            with self._connect() as connection:
+                connection.execute("BEGIN IMMEDIATE")
+                connection.execute(
+                    "UPDATE jobs SET state = 'queued', error = NULL,"
+                    " error_code = NULL, attempts = 0, worker_pid = NULL"
+                    " WHERE fingerprint = ? AND state = 'done'",
+                    (fingerprint,),
+                )
+            report["requeued"].append(fingerprint)
+        if report["requeued"]:
+            self.bump("recovery_requeued", len(report["requeued"]))
+        return report
+
+    def _artifacts_intact(self, fingerprint: str) -> bool:
+        """Whether every artifact of a ``done`` job matches its digest."""
+        directory = self.artifact_dir(fingerprint)
+        for name in ARTIFACT_NAMES:
+            try:
+                payload = (directory / name).read_bytes()
+            except OSError:
+                return False
+            try:
+                expected = (directory / f"{name}.sha256").read_text("ascii").strip()
+            except OSError:
+                continue  # pre-digest artifact: nothing to check against
+            if _digest(payload) != expected:
+                return False
+        return True
+
+    def evict(self, max_bytes: int) -> Dict[str, Any]:
+        """Shrink the artifact store below ``max_bytes``, LRU by atime.
+
+        Terminal jobs (``done``/``failed``) are eviction candidates,
+        least-recently-used first (file access time, falling back to
+        modification time on ``noatime`` mounts); queued and running
+        jobs are never touched.  Evicting a job removes its artifacts
+        *and* its ledger row — the job is content-addressed, so a
+        future submission of the same content simply re-runs the
+        pipeline.  Returns ``{"evicted", "freed_bytes", "kept_bytes",
+        "skipped_live"}``.
+        """
+        live = set()
+        with self._connect() as connection:
+            for row in connection.execute(
+                "SELECT fingerprint, state FROM jobs"
+                " WHERE state IN ('queued', 'running')"
+            ):
+                live.add(row["fingerprint"])
+        report: Dict[str, Any] = {
+            "evicted": 0, "freed_bytes": 0, "kept_bytes": 0, "skipped_live": 0,
+        }
+        candidates = []
+        live_bytes = 0
+        artifacts = self.root / "artifacts"
+        for directory in artifacts.iterdir() if artifacts.exists() else ():
+            if not directory.is_dir():
+                continue
+            size = used = 0
+            for path in directory.iterdir():
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                size += stat.st_size
+                used = max(used, stat.st_atime, stat.st_mtime)
+            if directory.name in live:
+                report["skipped_live"] += 1
+                live_bytes += size
+                continue
+            candidates.append((used, size, directory))
+        candidates.sort()
+        total = live_bytes + sum(size for _, size, _ in candidates)
+        evicted = []
+        for _, size, directory in candidates:
+            if total <= max_bytes:
+                break
+            shutil.rmtree(directory, ignore_errors=True)
+            evicted.append(directory.name)
+            total -= size
+            report["evicted"] += 1
+            report["freed_bytes"] += size
+        report["kept_bytes"] = total
+        if evicted:
+            with self._connect() as connection:
+                connection.execute("BEGIN IMMEDIATE")
+                for fingerprint in evicted:
+                    connection.execute(
+                        "DELETE FROM jobs WHERE fingerprint = ?"
+                        " AND state IN ('done', 'failed')",
+                        (fingerprint,),
+                    )
+                    connection.execute(
+                        "DELETE FROM timings WHERE fingerprint = ?", (fingerprint,)
+                    )
+            self.bump("evicted", len(evicted))
+        return report
 
     # ------------------------------------------------------------------
     # observability
+
+    def bump(self, name: str, value: int = 1) -> None:
+        """Accumulate ``value`` onto the persistent counter ``name``."""
+        with self._connect() as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            connection.execute(
+                "INSERT INTO counters (name, value) VALUES (?, ?)"
+                " ON CONFLICT(name) DO UPDATE SET value = value + ?",
+                (name, value, value),
+            )
+
+    def counter(self, name: str) -> int:
+        """The persistent counter ``name`` (0 when never bumped)."""
+        with self._connect() as connection:
+            row = connection.execute(
+                "SELECT value FROM counters WHERE name = ?", (name,)
+            ).fetchone()
+        return row["value"] if row is not None else 0
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Every ledger row as a status dict (the invariant checker's view)."""
+        with self._connect() as connection:
+            rows = connection.execute("SELECT * FROM jobs").fetchall()
+        result = []
+        for row in rows:
+            status = dict(row)
+            status["job"] = status.pop("fingerprint")
+            status.pop("spec", None)
+            result.append(status)
+        return result
 
     def queue_depth(self) -> int:
         """Number of jobs waiting to be claimed."""
@@ -353,6 +675,11 @@ class Store:
         return {
             "jobs": states,
             "queue_depth": states.get("queued", 0),
+            "max_queue_depth": self.max_queue_depth,
+            "backpressure_rejections": counters.get("backpressure_rejections", 0),
+            "quarantined": counters.get("quarantined", 0),
+            "recovery_requeued": counters.get("recovery_requeued", 0),
+            "evicted": counters.get("evicted", 0),
             "submissions": submissions,
             "executions": executions,
             "dedup_factor": (submissions / executions) if executions else None,
@@ -372,3 +699,82 @@ class Store:
         temporary = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
         temporary.write_bytes(payload)
         os.replace(temporary, path)
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte budget: plain bytes or a K/M/G-suffixed figure."""
+    text = text.strip()
+    multiplier = 1
+    suffixes = {"K": 1024, "M": 1024**2, "G": 1024**3}
+    if text and text[-1].upper() in suffixes:
+        multiplier = suffixes[text[-1].upper()]
+        text = text[:-1]
+    try:
+        value = int(float(text) * multiplier)
+    except ValueError:
+        raise ServiceError(
+            f"bad size {text!r} (use bytes or a K/M/G suffix, e.g. 500M)"
+        ) from None
+    if value < 0:
+        raise ServiceError("size budgets must be non-negative")
+    return value
+
+
+def gc_main(argv: Optional[List[str]] = None) -> int:
+    """``repro gc``: evict cold artifacts and cache entries from a root.
+
+    Long-lived service roots grow without bound — every distinct job
+    ever run keeps its artifacts, and every distinct cell geometry its
+    compaction memo.  This verb applies the LRU byte budgets
+    (:meth:`Store.evict` / ``CompactionCache.evict``), never touching
+    queued or running jobs, and prints what it freed.  Safe to run
+    against the root of a live daemon.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro gc",
+        description="Garbage-collect a layout-service root: evict"
+        " least-recently-used artifacts and compaction-cache entries"
+        " down to byte budgets, skipping queued/running jobs.",
+    )
+    parser.add_argument(
+        "--root",
+        default=".repro-service",
+        metavar="DIR",
+        help="service state directory (default: .repro-service)",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        metavar="SIZE",
+        help="artifact-store budget (bytes, or K/M/G-suffixed)",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        metavar="SIZE",
+        help="compaction-cache budget (bytes, or K/M/G-suffixed)",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.max_bytes is None and arguments.cache_max_bytes is None:
+        parser.error("nothing to do: give --max-bytes and/or --cache-max-bytes")
+    if not Path(arguments.root).is_dir():
+        raise ServiceError(f"no service root at {arguments.root!r}")
+    store = Store(arguments.root)
+    if arguments.max_bytes is not None:
+        report = store.evict(_parse_size(arguments.max_bytes))
+        print(
+            f"artifacts: evicted {report['evicted']} job(s),"
+            f" freed {report['freed_bytes']} byte(s),"
+            f" kept {report['kept_bytes']} byte(s)"
+            f" ({report['skipped_live']} live job(s) untouched)"
+        )
+    if arguments.cache_max_bytes is not None:
+        report = store.compaction_cache().evict(
+            _parse_size(arguments.cache_max_bytes)
+        )
+        print(
+            f"cache: evicted {report['evicted']} entr(ies),"
+            f" freed {report['freed_bytes']} byte(s),"
+            f" kept {report['kept_bytes']} byte(s)"
+        )
+    return 0

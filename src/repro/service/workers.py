@@ -31,6 +31,7 @@ import time
 from typing import Dict, List, Optional
 
 from ..core.errors import RsgError
+from . import chaos
 from .jobs import execute_job
 from .store import Store
 
@@ -45,33 +46,54 @@ def worker_loop(root: str, stop_event, poll_interval: float = 0.05) -> None:
     deltas fleet-wide after every job, and exits cleanly when
     ``stop_event`` is set (finishing the job in hand first — the drain
     contract).  Pipeline errors fail the job deterministically (no
-    retry); only the supervisor treats worker death as transient.
+    retry) with their CLI exit-code family recorded; only the
+    supervisor treats worker death as transient.  Store I/O hiccups
+    (a full disk while persisting artifacts, a transient claim error)
+    fail the job in hand or back off — they never kill the worker.
     """
+    chaos.maybe_load_from_env()
+    from ..cli import exit_code_for
+
     store = Store(root)
     cache = store.compaction_cache()
     pid = os.getpid()
     while not stop_event.is_set():
-        claim = store.claim(pid)
+        try:
+            claim = store.claim(pid)
+        except OSError:
+            time.sleep(poll_interval)  # transient store I/O: back off, retry
+            continue
         if claim is None:
             time.sleep(poll_interval)
             continue
         fingerprint, spec = claim
+        chaos.fire("worker.claimed")
         before = copy.copy(cache.cache_stats)
         try:
             result = execute_job(spec, cache=cache)
         except RsgError as error:
-            store.fail(fingerprint, f"{type(error).__name__}: {error}")
+            store.fail(
+                fingerprint,
+                f"{type(error).__name__}: {error}",
+                code=exit_code_for(error),
+            )
         except Exception as error:  # noqa: BLE001 — a worker must not die on a job
-            store.fail(fingerprint, f"internal error: {type(error).__name__}: {error}")
+            store.fail(
+                fingerprint,
+                f"internal error: {type(error).__name__}: {error}",
+                code=exit_code_for(error),
+            )
         else:
-            store.complete(fingerprint, result)
-        delta = copy.copy(cache.cache_stats)
-        delta.hits -= before.hits
-        delta.misses -= before.misses
-        delta.disk_hits -= before.disk_hits
-        delta.bytes_read -= before.bytes_read
-        delta.bytes_written -= before.bytes_written
-        store.record_cache_stats(delta)
+            chaos.fire("worker.pre_complete")
+            try:
+                store.complete(fingerprint, result)
+            except OSError as error:
+                store.fail(
+                    fingerprint,
+                    f"artifact write failed: {error}",
+                    code=exit_code_for(error),
+                )
+        store.record_cache_stats(cache.cache_stats.diff(before))
 
 
 class WorkerPool:
@@ -84,18 +106,22 @@ class WorkerPool:
         job_timeout: float = 300.0,
         max_attempts: int = 2,
         poll_interval: float = 0.05,
+        max_queue_depth: Optional[int] = None,
     ) -> None:
         """``job_timeout`` bounds one pipeline execution;
         ``max_attempts`` bounds retries of crashed-worker jobs;
         ``poll_interval`` is both the workers' queue poll and the
-        supervisor's heartbeat."""
+        supervisor's heartbeat; ``max_queue_depth`` enables the
+        store's submission backpressure (429 at the HTTP layer)."""
         if workers < 1:
             raise ValueError(f"workers must be >= 1, not {workers}")
         self.root = root
         self.workers = workers
         self.job_timeout = job_timeout
         self.poll_interval = poll_interval
-        self.store = Store(root, max_attempts=max_attempts)
+        self.store = Store(
+            root, max_attempts=max_attempts, max_queue_depth=max_queue_depth
+        )
         self._context = multiprocessing.get_context()
         self._stop = self._context.Event()
         self._processes: List[multiprocessing.Process] = []
@@ -103,6 +129,7 @@ class WorkerPool:
         self._stopping = False
         self.timeouts = 0
         self.crashes = 0
+        self.respawns = 0
 
     def start(self) -> None:
         """Spawn the workers and the supervisor heartbeat."""
@@ -166,6 +193,7 @@ class WorkerPool:
                 f"timed out after {self.job_timeout:g}s",
                 retry=False,
                 expect_pid=job["worker_pid"],
+                code=70,
             )
             if state is not None:
                 self.timeouts += 1
@@ -185,12 +213,14 @@ class WorkerPool:
                     f"worker (pid {job['worker_pid']}) died mid-job",
                     retry=True,
                     expect_pid=job["worker_pid"],
+                    code=70,
                 )
                 if state is not None:
                     self.crashes += 1
         if not self._stopping:
             while len(self._processes) < self.workers:
                 self._spawn()
+                self.respawns += 1
 
     def stop(self, drain: bool = True, timeout: float = 30.0) -> int:
         """Stop the pool; returns how many jobs were in flight.

@@ -365,13 +365,31 @@ class TestCacheStats:
         from repro.compact import CacheStats
 
         total = CacheStats(hits=1, misses=2, bytes_read=10)
-        total.merge(CacheStats(hits=3, disk_hits=1, bytes_written=5))
+        total.merge(CacheStats(hits=3, disk_hits=1, bytes_written=5, locks_broken=1))
         assert total.to_dict() == {
             "hits": 4,
             "misses": 2,
             "disk_hits": 1,
             "bytes_read": 10,
             "bytes_written": 5,
+            "locks_broken": 1,
+            "write_errors": 0,
+        }
+
+    def test_diff_returns_the_delta(self):
+        from repro.compact import CacheStats
+
+        earlier = CacheStats(hits=1, misses=2, bytes_read=10)
+        later = CacheStats(hits=4, misses=2, bytes_read=25, write_errors=1)
+        delta = later.diff(earlier)
+        assert delta.to_dict() == {
+            "hits": 3,
+            "misses": 0,
+            "disk_hits": 0,
+            "bytes_read": 15,
+            "bytes_written": 0,
+            "locks_broken": 0,
+            "write_errors": 1,
         }
 
     def test_legacy_attributes_view_the_stats(self):
@@ -393,6 +411,7 @@ class TestCacheStats:
         assert report["cache_stats"]["misses"] >= 1
         assert set(report["cache_stats"]) == {
             "hits", "misses", "disk_hits", "bytes_read", "bytes_written",
+            "locks_broken", "write_errors",
         }
 
 
@@ -425,7 +444,33 @@ class TestConcurrentWrites:
         os.utime(lock, (ancient, ancient))
         cache.put("somekey", {"value": 3})
         assert not lock.exists()
+        assert cache.cache_stats.locks_broken == 1
         assert CompactionCache(str(directory)).get("somekey") == {"value": 3}
+
+    def test_stale_window_is_configurable(self, tmp_path):
+        import os
+        import time
+
+        directory = tmp_path / "cache"
+        cache = CompactionCache(str(directory), stale_lock_seconds=0.1)
+        assert cache.stale_lock_seconds == 0.1
+        lock = directory / "somekey.lock"
+        lock.touch()
+        recent = time.time() - 1.0  # stale for 0.1s, fresh for 30s
+        os.utime(lock, (recent, recent))
+        cache.put("somekey", {"value": 4})
+        assert not lock.exists()
+        assert cache.cache_stats.locks_broken == 1
+
+    def test_stale_window_reads_the_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_STALE_LOCK_S", "7.5")
+        assert CompactionCache(str(tmp_path)).stale_lock_seconds == 7.5
+        monkeypatch.delenv("REPRO_CACHE_STALE_LOCK_S")
+        assert CompactionCache(str(tmp_path)).stale_lock_seconds == 30.0
+        # an explicit constructor value beats the environment
+        monkeypatch.setenv("REPRO_CACHE_STALE_LOCK_S", "7.5")
+        explicit = CompactionCache(str(tmp_path), stale_lock_seconds=2.0)
+        assert explicit.stale_lock_seconds == 2.0
 
     def test_many_processes_hammer_one_directory(self, tmp_path):
         """N processes write and read the same keys; nobody crashes and
