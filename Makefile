@@ -40,7 +40,11 @@ bench:
 # < 3x), so a regression to the O(n^2) rescans or to
 # instance-proportional work fails CI.  The bench_hierarchy
 # parallel case asserts jobs=2 output is identical to serial at every
-# size; bench_verify asserts hier extraction is LVS-identical to flat.
+# size; bench_verify asserts hier extraction is LVS-identical to flat;
+# bench_batch asserts every numpy batch pass (scanline_vec, drc_vec,
+# merge_vec, extract_vec, verify_extract_vec) matches its interpreted
+# oracle output exactly (the >= 3x speedup guards run at full sizes
+# via `make bench`).
 # BENCH_compaction.json is written here too (at the smoke
 # sizes) so CI can upload the trajectory per run.
 bench-smoke:

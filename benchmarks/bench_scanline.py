@@ -32,6 +32,7 @@ from repro.compact import (
     visibility_constraints,
     visibility_constraints_reference,
 )
+from repro.compact.scanline import visibility_constraints_python
 from repro.compact.constraints import ConstraintSystem
 from repro.geometry import Box
 from repro.layout.database import FlatLayout
@@ -117,12 +118,15 @@ def test_figure_66_legality(benchmark, report):
 
 
 def _impl_kernel_speedup(report, record):
+    # Pinned to the interpreted kernel so the "scanline" trajectory row
+    # keeps measuring the same implementation it always did; the numpy
+    # batch kernel has its own "scanline_vec" row in bench_batch.py.
     n = 400 if SMOKE else 2000
     boxes = sweep_layout_pairs(n)
 
     def run_new():
         system, comp = build_edge_variables(boxes)
-        return visibility_constraints(system, comp, TECH_A)
+        return visibility_constraints_python(system, comp, TECH_A)
 
     def run_reference():
         system, comp = build_edge_variables(boxes)
@@ -156,7 +160,7 @@ def _impl_visibility_scaling_guard(report, record):
 
         def run():
             system, comp = build_edge_variables(boxes)
-            return visibility_constraints(system, comp, TECH_A)
+            return visibility_constraints_python(system, comp, TECH_A)
 
         return best_time(run, repeats=5)
 

@@ -64,7 +64,8 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional
 
 from .compact import (
     TECH_A,
@@ -88,7 +89,7 @@ from .layout.cif import write_cif
 from .layout.render import ascii_render, svg_render
 from .layout.sample import load_sample
 
-__all__ = ["main", "run_flow", "exit_code_for"]
+__all__ = ["main", "run_flow", "exit_code_for", "timings_table"]
 
 # Exit-code families: every failure mode maps to a stable, distinct
 # code (tested in tests/test_cli.py) so scripts and CI can branch on
@@ -155,6 +156,7 @@ def run_flow(
     cache_dir: Optional[str] = None,
     verify_mode: Optional[str] = None,
     sim_vectors: Optional[int] = None,
+    timings: Optional[Dict[str, float]] = None,
 ) -> CellDefinition:
     """Execute the full generation flow described by a parameter file.
 
@@ -176,7 +178,11 @@ def run_flow(
     the cell-level recipe for multipliers, the connectivity round-trip
     for routed composites — and raises :class:`RsgError` on failure;
     ``sim_vectors`` caps the simulated input combinations (exhaustive
-    below the cap, seeded sampling above).
+    below the cap, seeded sampling above).  ``timings``, when given a
+    dict, receives per-stage wall-clock seconds under the same stage
+    names :func:`repro.service.jobs.execute_job` records (``generate``
+    / ``compact`` / ``route`` / ``verify`` / ``emit``) — the
+    ``--timings`` flag prints them as a table.
     """
     if compact_axes and route_path:
         # The composite is built from the workspace cells, which flat
@@ -197,6 +203,7 @@ def run_flow(
             " .concept_file (design file)"
         )
 
+    started = time.perf_counter()
     rsg = Rsg()
     load_sample(sample_path, rsg)
     interpreter = Interpreter(rsg)
@@ -213,17 +220,23 @@ def run_flow(
             "design file did not end with mk_cell and no .output_cell"
             " directive was given"
         )
+    if timings is not None:
+        timings["generate"] = time.perf_counter() - started
 
     if compact_axes:
+        started = time.perf_counter()
         cell = _compact_flow_cell(
             cell, compact_axes, solver, technology, output_stream,
             jobs=jobs, cache_dir=cache_dir,
         )
+        if timings is not None:
+            timings["compact"] = time.perf_counter() - started
 
     plan = None
     if route_path:
         from .route import compose_from_netfile
 
+        started = time.perf_counter()
         rules = {"A": TECH_A, "B": TECH_B}.get(technology.upper())
         if rules is None:
             raise RsgError(f"unknown technology {technology!r} (use A or B)")
@@ -233,14 +246,20 @@ def run_flow(
             net_text, rsg.cells, name=f"{cell.name}_routed",
             rules=rules, router=router,
         )
+        if timings is not None:
+            timings["route"] = time.perf_counter() - started
         if output_stream is not None:
             print(plan.summary(), file=output_stream)
 
     if verify_mode:
+        started = time.perf_counter()
         _verify_flow_cell(
             cell, plan, verify_mode, sim_vectors, technology, output_stream,
         )
+        if timings is not None:
+            timings["verify"] = time.perf_counter() - started
 
+    started = time.perf_counter()
     output_path = parameters.directives.get("output_file")
     output_format = parameters.directives.get("format", "cif").lower()
     if output_path:
@@ -256,7 +275,30 @@ def run_flow(
             raise RsgError(f"unknown output format {output_format!r}")
         if output_stream is not None:
             print(f"wrote {output_format} to {output_path}", file=output_stream)
+    if timings is not None:
+        timings["emit"] = time.perf_counter() - started
     return cell
+
+
+def timings_table(timings: Dict[str, float]) -> str:
+    """Format per-stage wall timings as the ``--timings`` table.
+
+    Stages print in pipeline order (``generate`` / ``compact`` /
+    ``route`` / ``verify`` / ``emit``); stages that did not run are
+    omitted, and a total row closes the table.  The same shape works
+    for the stage timings a service :class:`~repro.service.jobs.JobResult`
+    carries.
+    """
+    stage_order = ("generate", "compact", "route", "verify", "emit")
+    rows = [f"{'stage':<10} {'seconds':>9}"]
+    for stage in stage_order:
+        if stage in timings:
+            rows.append(f"{stage:<10} {timings[stage]:>9.3f}")
+    for stage in timings:  # any stage outside the known pipeline order
+        if stage not in stage_order:
+            rows.append(f"{stage:<10} {timings[stage]:>9.3f}")
+    rows.append(f"{'total':<10} {sum(timings.values()):>9.3f}")
+    return "\n".join(rows)
 
 
 def _verify_flow_cell(
@@ -422,6 +464,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print an ASCII rendering of the result to stdout",
     )
     parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print the per-stage wall-clock table after the flow"
+        " (generate/compact/route/verify/emit — the same stages the"
+        " layout service records per job)",
+    )
+    parser.add_argument(
         "--compact",
         choices=["x", "y", "xy", "yx", "hier", "hier:x", "hier:y", "hier:xy", "hier:yx"],
         metavar="AXES",
@@ -512,6 +561,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if arguments.compact and arguments.route:
         parser.error("--compact and --route cannot be combined (the composite"
                      " is built from the uncompacted workspace cells)")
+    stage_timings: Optional[Dict[str, float]] = (
+        {} if arguments.timings else None
+    )
     try:
         cell = run_flow(
             arguments.parameter_file,
@@ -526,6 +578,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_dir=arguments.cache_dir,
             verify_mode=arguments.verify,
             sim_vectors=arguments.sim_vectors,
+            timings=stage_timings,
         )
     except Exception as error:  # noqa: BLE001 — mapped to exit families
         return _report_error(error)
@@ -533,6 +586,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"generated cell {cell.name!r}:"
         f" {cell.count_instances(recursive=True)} instances"
     )
+    if stage_timings is not None:
+        print(timings_table(stage_timings))
     if arguments.render:
         print(ascii_render(cell))
     return 0

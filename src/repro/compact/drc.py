@@ -23,10 +23,16 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..geometry import Box, interval_gaps, slab_decompose
+from ..geometry import Box, batch, interval_gaps, slab_decompose
 from .rules import DesignRules
 
-__all__ = ["Violation", "check_layout", "check_layout_reference"]
+__all__ = [
+    "Violation",
+    "check_layout",
+    "check_layout_batch",
+    "check_layout_python",
+    "check_layout_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -55,11 +61,110 @@ def check_layout(
 ) -> List[Violation]:
     """Check min width and spacing; returns all violations found.
 
-    Sweep-kernel implementation: the slab decomposition comes from one
-    y-event sweep over the active material, and each inter-layer check
-    inspects only the runs inside a spacing-sized bisect window around
-    every run end — sub-quadratic where the reference checker rescans
-    all boxes per slab and all run pairs per layer pair.
+    Dispatches on the ``REPRO_KERNEL`` switch: the numpy batch checker
+    (:func:`check_layout_batch`) by default, the interpreted sweep
+    checker (:func:`check_layout_python`) otherwise.  Both emit the
+    same violation multiset (emission order may differ).
+    """
+    if batch.use_numpy():
+        return check_layout_batch(layers, rules)
+    return check_layout_python(layers, rules)
+
+
+def check_layout_batch(
+    layers: Dict[str, List[Box]], rules: DesignRules
+) -> List[Violation]:
+    """Numpy batch build of the slab checker.
+
+    All slabs of a layer are materialised at once as flat
+    ``(slab, x0, x1)`` run vectors
+    (:func:`repro.geometry.batch.merged_slab_runs`); width and
+    same-layer gap checks are single masked comparisons over those
+    columns, and each inter-layer check is two keyed ``searchsorted``
+    probes over the partner layer's run starts/ends — the batch form of
+    the per-slab bisect windows of :func:`check_layout_python`, which
+    it matches violation-for-violation.
+    """
+    np = batch.require_numpy()
+    violations: List[Violation] = []
+    layer_names = sorted(layers)
+    if not layer_names:
+        return violations
+    tables = rules.tables(layer_names)
+    arrays = {name: batch.boxes_to_arrays(layers[name]) for name in layer_names}
+    ys = batch.slab_grid(arrays.values())
+    if ys.size < 2:
+        return violations
+    runs = {name: batch.merged_slab_runs(ys, arrays[name]) for name in layer_names}
+
+    def emit(kind, name_a, name_b, xs, slabs, required, actual) -> None:
+        violations.extend(
+            Violation(kind, name_a, name_b, (x, y), required, value)
+            for x, y, value in zip(xs.tolist(), ys[slabs].tolist(), actual.tolist())
+        )
+
+    for name in layer_names:
+        slab, x0, x1 = runs[name]
+        if slab.size == 0:
+            continue
+        width = tables.width[name]
+        drawn = x1 - x0
+        narrow = np.flatnonzero(drawn < width)
+        if narrow.size:
+            emit("width", name, name, x0[narrow], slab[narrow], width, drawn[narrow])
+        spacing = tables.spacing[name, name]
+        if spacing is not None and slab.size > 1:
+            gaps = x0[1:] - x1[:-1]
+            bad = np.flatnonzero((slab[1:] == slab[:-1]) & (gaps < spacing))
+            if bad.size:
+                emit("spacing", name, name, x1[bad], slab[bad], spacing, gaps[bad])
+    for index, name_a in enumerate(layer_names):
+        slab_a, a0, a1 = runs[name_a]
+        for name_b in layer_names[index + 1:]:
+            spacing = tables.spacing[name_a, name_b]
+            slab_b, b0, b1 = runs[name_b]
+            if spacing is None or slab_a.size == 0 or slab_b.size == 0:
+                continue
+            base = int(min(a0.min(), b0.min())) - spacing - 1
+            span = np.int64(int(max(a1.max(), b1.max())) + spacing + 1 - base + 1)
+            key_b0 = slab_b * span + (b0 - base)
+            key_b1 = slab_b * span + (b1 - base)
+            # b runs starting in (a1, a1 + spacing): gap to the right.
+            lo = np.searchsorted(key_b0, slab_a * span + (a1 - base), side="right")
+            hi = np.searchsorted(
+                key_b0, slab_a * span + (a1 + spacing - base), side="left"
+            )
+            qa, qb = batch.expand_ranges(lo, hi)
+            if qa.size:
+                emit(
+                    "spacing", name_a, name_b,
+                    a1[qa], slab_a[qa], spacing, b0[qb] - a1[qa],
+                )
+            # b runs ending in (a0 - spacing, a0): gap to the left.
+            lo = np.searchsorted(
+                key_b1, slab_a * span + (a0 - spacing - base), side="right"
+            )
+            hi = np.searchsorted(key_b1, slab_a * span + (a0 - base), side="left")
+            qa, qb = batch.expand_ranges(lo, hi)
+            if qa.size:
+                emit(
+                    "spacing", name_a, name_b,
+                    b1[qb], slab_a[qa], spacing, a0[qa] - b1[qb],
+                )
+    return violations
+
+
+def check_layout_python(
+    layers: Dict[str, List[Box]], rules: DesignRules
+) -> List[Violation]:
+    """The interpreted sweep-kernel checker.
+
+    The slab decomposition comes from one y-event sweep over the active
+    material, and each inter-layer check inspects only the runs inside
+    a spacing-sized bisect window around every run end — sub-quadratic
+    where the reference checker rescans all boxes per slab and all run
+    pairs per layer pair.  Serves as the equivalence oracle for
+    :func:`check_layout_batch`.
     """
     violations: List[Violation] = []
     layer_names = sorted(layers)

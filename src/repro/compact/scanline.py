@@ -25,8 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..geometry import Box, IntervalFront
-from .constraints import ConstraintSystem
+from ..geometry import Box, IntervalFront, batch
+from .constraints import Constraint, ConstraintSystem
 from .rules import DesignRules, RuleTables
 
 __all__ = [
@@ -34,6 +34,8 @@ __all__ = [
     "build_edge_variables",
     "naive_constraints",
     "visibility_constraints",
+    "visibility_constraints_batch",
+    "visibility_constraints_python",
     "visibility_constraints_reference",
     "rebuild_boxes",
 ]
@@ -216,7 +218,87 @@ def visibility_constraints(
     boxes: Sequence[CompactionBox],
     rules: DesignRules,
 ) -> int:
-    """The correct vertical-scan method (Figure 6.7), sweep-kernel build.
+    """The correct vertical-scan method (Figure 6.7).
+
+    Dispatches on the ``REPRO_KERNEL`` switch: the numpy batch build
+    (:func:`visibility_constraints_batch`) by default, the interpreted
+    sweep build (:func:`visibility_constraints_python`) otherwise.  The
+    two emit the exact same constraint multiset; returns the number of
+    spacing constraints generated.
+    """
+    if batch.use_numpy():
+        return visibility_constraints_batch(system, boxes, rules)
+    return visibility_constraints_python(system, boxes, rules)
+
+
+def visibility_constraints_batch(
+    system: ConstraintSystem,
+    boxes: Sequence[CompactionBox],
+    rules: DesignRules,
+) -> int:
+    """Numpy batch build of the Figure 6.7 scan.
+
+    :func:`repro.geometry.batch.visible_pairs` computes every
+    (visible, viewer) pair the sequential front would have produced in
+    one offline segmented scan; pairs are then classified with masked
+    column arithmetic and the spacing rows are emitted as one bulk
+    ``Constraint`` batch.  Connection pairs (a handful per layout) fall
+    back to :func:`_add_connection` so the overlap arithmetic lives in
+    exactly one place.  Emits the exact constraint multiset of
+    :func:`visibility_constraints_python`.
+    """
+    np = batch.require_numpy()
+    items = list(boxes)
+    count = len(items)
+    if count < 2:
+        return 0
+    layer_names = sorted({item.layer for item in items})
+    tables = rules.tables(layer_names)
+    code_of = {name: index for index, name in enumerate(layer_names)}
+    depth = len(layer_names)
+    spacing_matrix = np.full((depth, depth), -1, dtype=np.int64)
+    for (name_a, name_b), value in tables.spacing.items():
+        if value is not None:
+            spacing_matrix[code_of[name_a], code_of[name_b]] = value
+    allowed = spacing_matrix >= 0
+    arrays = batch.boxes_to_arrays([item.box for item in items])
+    codes = np.fromiter(
+        (code_of[item.layer] for item in items), dtype=np.int64, count=count
+    )
+    visible, viewer = batch.visible_pairs(arrays, codes, allowed)
+    if visible.size == 0:
+        return 0
+    # The viewer arrived after the visible box, so visible.xmin <=
+    # viewer.xmin and the stab guarantees positive y overlap: connected
+    # reduces to closed x contact, the crossing test to a.xmax >= b.xmin.
+    a_xmax = arrays.xmax[visible]
+    b_xmin = arrays.xmin[viewer]
+    connected = (codes[visible] == codes[viewer]) & (a_xmax >= b_xmin)
+    weights = spacing_matrix[codes[visible], codes[viewer]]
+    spaced = ~connected & (weights >= 0) & (a_xmax < b_xmin)
+    for a_index, b_index in zip(
+        visible[connected].tolist(), viewer[connected].tolist()
+    ):
+        _add_connection(system, items[a_index], items[b_index], rules, tables)
+    spaced_indices = np.flatnonzero(spaced)
+    if spaced_indices.size:
+        sources = [items[i].right for i in visible[spaced_indices].tolist()]
+        targets = [items[i].left for i in viewer[spaced_indices].tolist()]
+        system.constraints.extend(
+            Constraint(source, target, weight, (), "spacing")
+            for source, target, weight in zip(
+                sources, targets, weights[spaced_indices].tolist()
+            )
+        )
+    return int(spaced_indices.size)
+
+
+def visibility_constraints_python(
+    system: ConstraintSystem,
+    boxes: Sequence[CompactionBox],
+    rules: DesignRules,
+) -> int:
+    """The interpreted sweep-kernel build of the Figure 6.7 scan.
 
     Sweeps left to right; per layer the scan line holds the visible
     front (what a viewer on the line looking left sees).  Spacing
@@ -230,7 +312,8 @@ def visibility_constraints(
     replace what it reaches past — against the flat-list front of
     :func:`visibility_constraints_reference`, which scanned and re-sorted
     whole fronts per box.  Emits the exact constraint multiset of the
-    reference.
+    reference, and serves as the equivalence oracle for
+    :func:`visibility_constraints_batch`.
     """
     count = 0
     fronts: Dict[str, IntervalFront] = {}

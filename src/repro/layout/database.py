@@ -13,9 +13,15 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
 from ..core.cell import CellDefinition, Label, LayerBox, Port
-from ..geometry import Box, Transform, slab_decompose
+from ..geometry import Box, Transform, batch, slab_decompose
 
-__all__ = ["FlatLayout", "flatten_cell", "merge_boxes", "merge_boxes_reference"]
+__all__ = [
+    "FlatLayout",
+    "flatten_cell",
+    "merge_boxes",
+    "merge_boxes_python",
+    "merge_boxes_reference",
+]
 
 
 def _coalesce_slabs(
@@ -52,11 +58,25 @@ def merge_boxes(boxes: List[Box]) -> List[Box]:
     union region at every distinct y coordinate and merges x intervals
     within each slab, then coalesces vertically identical spans.
 
+    Dispatches on the ``REPRO_KERNEL`` switch: the numpy batch merge
+    (:func:`repro.geometry.batch.merge_boxes_batch`) by default, the
+    interpreted sweep build (:func:`merge_boxes_python`) otherwise.
+    Output is identical either way.
+    """
+    if batch.use_numpy():
+        return batch.merge_boxes_batch(boxes)
+    return merge_boxes_python(boxes)
+
+
+def merge_boxes_python(boxes: List[Box]) -> List[Box]:
+    """The interpreted sweep-kernel strip merger.
+
     The slab runs come from the sweep kernel
     (:func:`repro.geometry.slab_decompose`): one y-event sweep carries
     the active intervals, so the cost is event maintenance plus
     output-sensitive run merging instead of the ``O(slabs x boxes)``
-    rescan of :func:`merge_boxes_reference`.  Output is identical.
+    rescan of :func:`merge_boxes_reference`.  Serves as the equivalence
+    oracle for the batch kernel's merge.
     """
     if not boxes:
         return []

@@ -17,10 +17,16 @@ from heapq import heappop, heappush
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.cell import CellDefinition, Port
-from ..geometry import Box, Transform
+from ..geometry import Box, Transform, batch
 from .style import RouteStyle
 
-__all__ = ["wire_components", "wire_components_reference", "routed_netlist"]
+__all__ = [
+    "wire_components",
+    "wire_components_batch",
+    "wire_components_python",
+    "wire_components_reference",
+    "routed_netlist",
+]
 
 
 class _UnionFind:
@@ -62,14 +68,150 @@ def wire_components(
     """Group wire boxes into electrical components.
 
     Same-layer boxes that touch or overlap merge; across layers only a
-    via square merges what it overlaps.  The plane sweep over x keeps
-    its active set in a min-heap keyed on ``xmax``, so expiry is
-    ``O(log n)`` pops instead of the per-item full list rebuild of
-    :func:`wire_components_reference`.  Note the connection pair loop
-    still visits every live wire per item, so worst-case cost remains
-    ``O(n x active)`` on workloads where nothing expires — the heap
-    removes the rebuild overhead, not the pair checks.  The grouping
-    returned is identical to the reference's.
+    via square merges what it overlaps.  Dispatches on the
+    ``REPRO_KERNEL`` switch: the numpy batch build
+    (:func:`wire_components_batch`) by default, the interpreted sweep
+    (:func:`wire_components_python`) otherwise.  The grouping returned
+    is identical either way — both orders components by first box in
+    the canonical item order and boxes within a component likewise.
+    """
+    if batch.use_numpy():
+        return wire_components_batch(layers, style)
+    return wire_components_python(layers, style)
+
+
+def _grouped(
+    items: List[Tuple[str, Box]], sets: _UnionFind
+) -> List[List[Tuple[str, Box]]]:
+    """Canonical component listing of a solved union-find partition."""
+    grouped: Dict[int, List[Tuple[str, Box]]] = {}
+    for index, item in enumerate(items):
+        grouped.setdefault(sets.find(index), []).append(item)
+    return list(grouped.values())
+
+
+def wire_components_batch(
+    layers: Dict[str, List[Box]], style: RouteStyle
+) -> List[List[Tuple[str, Box]]]:
+    """Numpy batch build of the wire extractor.
+
+    Two boxes overlap closed in y exactly when they share one of the
+    ``ymin``/``ymax`` event lines, so connectivity decomposes per event
+    line.  Same-layer touching is interval-graph connectivity: per
+    (layer, line), chain every box whose start reaches back to the
+    running ``xmax`` argmax of its predecessors — a segmented scan
+    producing O(incidence) union edges instead of all overlapping
+    pairs.  Via junctions are enumerated with two keyed
+    ``searchsorted`` passes (the later starter's start lies inside the
+    partner's span), deduplicated, and fed to the same union-find.
+    The resulting partition — hence the returned grouping — is
+    identical to :func:`wire_components_python`'s.
+    """
+    np = batch.require_numpy()
+    items: List[Tuple[str, Box]] = [
+        (layer, box) for layer in sorted(layers) for box in layers[layer]
+    ]
+    items.sort(key=lambda item: item[1].xmin)
+    count = len(items)
+    sets = _UnionFind(count)
+    if count < 2:
+        return _grouped(items, sets)
+    layer_names = sorted(layers)
+    code_of = {name: index for index, name in enumerate(layer_names)}
+    arrays = batch.boxes_to_arrays([box for _, box in items])
+    codes = np.fromiter(
+        (code_of[layer] for layer, _ in items), dtype=np.int64, count=count
+    )
+    lines = batch.unique_sorted(np.concatenate([arrays.ymin, arrays.ymax]))
+    first = np.searchsorted(lines, arrays.ymin)
+    covered = np.searchsorted(lines, arrays.ymax) - first + 1  # inclusive
+    total = int(covered.sum())
+    entry = np.repeat(np.arange(count, dtype=np.int64), covered)
+    bases = np.repeat(np.cumsum(covered) - covered, covered)
+    line = np.repeat(first, covered) + np.arange(total, dtype=np.int64) - bases
+    entry_x0 = arrays.xmin[entry]
+    entry_x1 = arrays.xmax[entry]
+    pair_codes = []
+
+    # Same-layer chains per (layer, line).
+    group = codes[entry] * np.int64(lines.size + 1) + line
+    order = np.lexsort((entry_x1, entry_x0, group))
+    sorted_group = group[order]
+    sorted_entry = entry[order]
+    # searchsorted-left over the duplicate-keeping sorted vector still
+    # ranks and decodes xmax correctly (equal values share one index).
+    unique_xmax = np.sort(arrays.xmax)
+    combined = (
+        np.searchsorted(unique_xmax, entry_x1[order]) * np.int64(count)
+        + sorted_entry
+    )
+    running = batch.segmented_cummax(sorted_group, combined)
+    link = np.empty(total, dtype=bool)
+    link[0] = False
+    link[1:] = (sorted_group[1:] == sorted_group[:-1]) & (
+        entry_x0[order][1:] <= unique_xmax[running[:-1] // np.int64(count)]
+    )
+    indices = np.flatnonzero(link)
+    if indices.size:
+        chained = sorted_entry[indices]
+        reached = running[indices - 1] % np.int64(count)
+        pair_codes.append(
+            np.minimum(chained, reached) * np.int64(count)
+            + np.maximum(chained, reached)
+        )
+
+    # Via junctions: closed overlap with a via square joins across layers.
+    via_code = code_of.get(style.via_layer, -1) if style.via_layer else -1
+    if via_code >= 0:
+        is_via = codes[entry] == via_code
+        span = np.int64(int(arrays.xmax.max()) - int(arrays.xmin.min()) + 2)
+        base = np.int64(int(arrays.xmin.min()))
+        for queries, targets in (
+            (np.flatnonzero(is_via), np.flatnonzero(~is_via)),
+            (np.flatnonzero(~is_via), np.flatnonzero(is_via)),
+        ):
+            if queries.size == 0 or targets.size == 0:
+                continue
+            target_key = line[targets] * span + (entry_x0[targets] - base)
+            target_order = np.argsort(target_key)
+            target_key = target_key[target_order]
+            target_box = entry[targets][target_order]
+            lo = np.searchsorted(
+                target_key, line[queries] * span + (entry_x0[queries] - base),
+                side="left",
+            )
+            hi = np.searchsorted(
+                target_key, line[queries] * span + (entry_x1[queries] - base),
+                side="right",
+            )
+            query_rows, target_rows = batch.expand_ranges(lo, hi)
+            if query_rows.size:
+                a = entry[queries][query_rows]
+                b = target_box[target_rows]
+                pair_codes.append(
+                    np.minimum(a, b) * np.int64(count) + np.maximum(a, b)
+                )
+
+    if pair_codes:
+        for code in batch.unique_sorted(np.concatenate(pair_codes)).tolist():
+            sets.union(code // count, code % count)
+    return _grouped(items, sets)
+
+
+def wire_components_python(
+    layers: Dict[str, List[Box]], style: RouteStyle
+) -> List[List[Tuple[str, Box]]]:
+    """The interpreted sweep build of the wire extractor.
+
+    The plane sweep over x keeps its active set in a min-heap keyed on
+    ``xmax``, so expiry is ``O(log n)`` pops instead of the per-item
+    full list rebuild of :func:`wire_components_reference`.  Note the
+    connection pair loop still visits every live wire per item, so
+    worst-case cost remains ``O(n x active)`` on workloads where
+    nothing expires — the heap removes the rebuild overhead, not the
+    pair checks.  The grouping returned is identical to the
+    reference's; serves as the equivalence oracle for
+    :func:`wire_components_batch`.
     """
     items: List[Tuple[str, Box]] = [
         (layer, box) for layer in sorted(layers) for box in layers[layer]
@@ -85,10 +227,7 @@ def wire_components(
             if _connects(layer, box, other_layer, other_box, style.via_layer):
                 sets.union(index, j)
         heappush(active, (box.xmax, index))
-    grouped: Dict[int, List[Tuple[str, Box]]] = {}
-    for index, item in enumerate(items):
-        grouped.setdefault(sets.find(index), []).append(item)
-    return list(grouped.values())
+    return _grouped(items, sets)
 
 
 def wire_components_reference(

@@ -28,12 +28,12 @@ physically disjoint rails become one electrical node.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..compact.layers import expand_layout
 from ..compact.rules import TECH_A, DesignRules
 from ..core.cell import CellDefinition
-from ..geometry import Box, Transform
+from ..geometry import Box, Transform, batch
 from ..geometry.sweep import Interval, slab_decompose, subtract_intervals
 from .netlist import SwitchNetlist
 
@@ -162,40 +162,30 @@ class _RunGraph:
         self._previous_top = self._y1
 
 
-def extract_netlist(
-    cell: CellDefinition,
-    rules: Optional[DesignRules] = None,
-    layers: Optional[Dict[str, List[Box]]] = None,
-    ports: Optional[Sequence] = None,
-    geometry: Optional[List[Tuple[str, Box, int]]] = None,
-    finalise: bool = True,
-) -> SwitchNetlist:
-    """Extract the transistor netlist of a placed cell from its masks.
+#: node-creation order of the conductor kinds within one slab
+_SWEEP_KINDS = ("poly", "metal1", "diff", "channel")
 
-    Returns a :class:`~repro.verify.netlist.SwitchNetlist` whose nets
-    carry every hierarchical port name that landed on them, with rails
-    classified from ``vdd``/``gnd`` names and global (``!``) names
-    merged.  ``layers``/``ports`` override the flatten step (the
-    hierarchical extractor passes pre-translated tiles).
+#: what one sweep pass hands to the netlist-resolution phase:
+#: (union-find, node boxes, gate_of, terminals_of, depletion, cut_links)
+_SweepResult = Tuple[
+    _UnionFind,
+    List[Tuple[str, Box]],
+    Dict[int, Set[int]],
+    Dict[int, Set[int]],
+    Set[int],
+    List[List[int]],
+]
 
-    When ``geometry`` is a list, every conductor run is appended to it
-    as ``(layer, box, net)`` — channels as ``("channel", box, -1)`` —
-    and with ``finalise=False`` the global-name merge, rail
-    classification and floating-net prune are skipped so the recorded
-    net ids stay valid; the hierarchical extractor relies on both to
-    stitch tiles.
+
+def _sweep_python(sweep_input: Dict[str, List[Box]]) -> _SweepResult:
+    """The interpreted slab walk over the conductor masks.
+
+    One :func:`~repro.geometry.sweep.slab_decompose` pass feeds the
+    :class:`_RunGraph`; gates, depletion markers, terminals, and cut
+    links are discovered per slab with interval scans.  Serves as the
+    equivalence oracle for :func:`_sweep_batch`, which reproduces its
+    node numbering and union sequence exactly.
     """
-    if layers is None:
-        layers = extract_layers(cell, rules)
-    if ports is None:
-        ports = list(cell.flatten_ports(Transform())) if cell is not None else []
-
-    sweep_input: Dict[str, List[Box]] = {
-        name: list(layers.get(name, ())) for name in CONDUCTOR_LAYERS
-    }
-    sweep_input["cut"] = list(layers.get("cut", ()))
-    sweep_input["implant"] = list(layers.get("implant", ()))
-
     graph = _RunGraph()
     # channel component node -> flags/links discovered during the sweep
     gate_of: Dict[int, Set[int]] = {}
@@ -265,19 +255,207 @@ def extract_netlist(
         previous_top = y1
         graph.end_slab()
 
+    return (
+        graph.sets, graph.boxes, gate_of, terminals_of, depletion, cut_links
+    )
+
+
+def _sweep_batch(sweep_input: Dict[str, List[Box]]) -> _SweepResult:
+    """Numpy batch build of the slab walk.
+
+    All slabs are materialised at once: merged runs per mask come from
+    :func:`~repro.geometry.batch.merged_slab_runs`, the channel/
+    conductor algebra from the keyed event-depth combinators, and every
+    per-slab interval scan of :func:`_sweep_python` (slab stitching,
+    gates, depletion, terminals, cut links) becomes a keyed
+    ``searchsorted`` pair query.  Node ids are assigned in exactly the
+    interpreted order — (slab, kind, x) — and stitch unions are applied
+    in exactly the interpreted sequence, so the resulting union-find
+    roots (and hence downstream net numbering) are *identical*, not
+    merely isomorphic.
+    """
+    np = batch.require_numpy()
+    sets = _UnionFind()
+    boxes: List[Tuple[str, Box]] = []
+    gate_of: Dict[int, Set[int]] = {}
+    terminals_of: Dict[int, Set[int]] = {}
+    depletion: Set[int] = set()
+    cut_links: List[List[int]] = []
+    result = (sets, boxes, gate_of, terminals_of, depletion, cut_links)
+
+    arrays = {
+        name: batch.boxes_to_arrays(value) for name, value in sweep_input.items()
+    }
+    ys = batch.slab_grid(arrays.values())
+    if ys.size < 2:
+        return result
+    poly = batch.merged_slab_runs(ys, arrays["poly"])
+    metal = batch.merged_slab_runs(ys, arrays["metal1"])
+    diff = batch.merged_slab_runs(ys, arrays["diff"])
+    cut = batch.merged_slab_runs(ys, arrays["cut"])
+    implant = batch.merged_slab_runs(ys, arrays["implant"])
+    channel = batch.runs_subtract(*batch.runs_intersect(*poly, *diff), *cut)
+    diff_cond = batch.runs_subtract(*diff, *channel)
+
+    kinds = (poly, metal, diff_cond, channel)
+    sizes = [int(runs[0].size) for runs in kinds]
+    total = sum(sizes)
+    if total == 0:
+        return result
+    slab_all = np.concatenate([runs[0] for runs in kinds])
+    x0_all = np.concatenate([runs[1] for runs in kinds])
+    x1_all = np.concatenate([runs[2] for runs in kinds])
+    rank_all = np.repeat(np.arange(4, dtype=np.int64), sizes)
+    # Node ids in interpreted creation order: slab, then kind, then x.
+    order = np.lexsort((x0_all, rank_all, slab_all))
+    node_of = np.empty(total, dtype=np.int64)
+    node_of[order] = np.arange(total, dtype=np.int64)
+    offsets = np.cumsum(sizes) - sizes
+    nid = [
+        node_of[offsets[index]: offsets[index] + sizes[index]]
+        for index in range(4)
+    ]
+    sets.parent = list(range(total))
+    slab_sorted = slab_all[order]
+    for kind_rank, box in zip(
+        rank_all[order].tolist(),
+        batch.boxes_from_arrays(
+            x0_all[order], ys[slab_sorted], x1_all[order], ys[slab_sorted + 1]
+        ),
+    ):
+        boxes.append((_SWEEP_KINDS[kind_rank], box))
+
+    # Same-kind stitches across adjacent slabs, in interpreted union
+    # order: ascending (new node, previous node).
+    stitch_cur: List[Any] = []
+    stitch_prev: List[Any] = []
+    for index in range(4):
+        slab, x0, x1 = kinds[index]
+        if slab.size == 0:
+            continue
+        cur_rows, prev_rows = batch.overlap_pairs(slab, x0, x1, slab + 1, x0, x1)
+        if cur_rows.size:
+            stitch_cur.append(nid[index][cur_rows])
+            stitch_prev.append(nid[index][prev_rows])
+    if stitch_cur:
+        cur = np.concatenate(stitch_cur)
+        prev = np.concatenate(stitch_prev)
+        sequence = np.lexsort((prev, cur))
+        union = sets.union
+        for node, other in zip(cur[sequence].tolist(), prev[sequence].tolist()):
+            union(node, other)
+
+    chan_nid, diff_nid, poly_nid, metal_nid = nid[3], nid[2], nid[0], nid[1]
+    # Gates: poly runs positively overlapping a channel, same slab.
+    rows_a, rows_b = batch.overlap_pairs(*channel, *poly)
+    for node, gate in zip(chan_nid[rows_a].tolist(), poly_nid[rows_b].tolist()):
+        gate_of.setdefault(node, set()).add(gate)
+    # Depletion markers.
+    rows_a, _ = batch.overlap_pairs(*channel, *implant)
+    depletion.update(chan_nid[rows_a].tolist())
+    # Horizontal channel/diff adjacency (shared endpoint counts).
+    rows_a, rows_b = batch.overlap_pairs(*channel, *diff_cond, closed=True)
+    for node, term in zip(chan_nid[rows_a].tolist(), diff_nid[rows_b].tolist()):
+        terminals_of.setdefault(node, set()).add(term)
+    # Vertical adjacency, both directions across the slab boundary.
+    chan_slab, chan_x0, chan_x1 = channel
+    diff_slab, diff_x0, diff_x1 = diff_cond
+    rows_a, rows_b = batch.overlap_pairs(
+        chan_slab, chan_x0, chan_x1, diff_slab + 1, diff_x0, diff_x1
+    )
+    for node, term in zip(chan_nid[rows_a].tolist(), diff_nid[rows_b].tolist()):
+        terminals_of.setdefault(node, set()).add(term)
+    rows_a, rows_b = batch.overlap_pairs(
+        diff_slab, diff_x0, diff_x1, chan_slab + 1, chan_x0, chan_x1
+    )
+    for term, node in zip(diff_nid[rows_a].tolist(), chan_nid[rows_b].tolist()):
+        terminals_of.setdefault(node, set()).add(term)
+
+    # Cuts union every conductor they positively overlap, in slab/x
+    # order with the linked nodes listed poly, then metal1, then diff.
+    cut_slab, cut_x0, cut_x1 = cut
+    if cut_slab.size:
+        link_cut: List[Any] = []
+        link_rank: List[Any] = []
+        link_node: List[Any] = []
+        for rank, (runs, ids) in enumerate(
+            ((poly, poly_nid), (metal, metal_nid), (diff_cond, diff_nid))
+        ):
+            rows_a, rows_b = batch.overlap_pairs(cut_slab, cut_x0, cut_x1, *runs)
+            if rows_a.size:
+                link_cut.append(rows_a)
+                link_rank.append(np.full(rows_a.size, rank, dtype=np.int64))
+                link_node.append(ids[rows_b])
+        if link_cut:
+            cuts = np.concatenate(link_cut)
+            ranks = np.concatenate(link_rank)
+            nodes = np.concatenate(link_node)
+            sequence = np.lexsort((nodes, ranks, cuts))
+            linked_by_cut: Dict[int, List[int]] = {}
+            for cut_index, node in zip(
+                cuts[sequence].tolist(), nodes[sequence].tolist()
+            ):
+                linked_by_cut.setdefault(cut_index, []).append(node)
+            for cut_index in sorted(linked_by_cut):
+                linked = linked_by_cut[cut_index]
+                if len(linked) >= 2:
+                    cut_links.append(linked)
+    return result
+
+
+def extract_netlist(
+    cell: CellDefinition,
+    rules: Optional[DesignRules] = None,
+    layers: Optional[Dict[str, List[Box]]] = None,
+    ports: Optional[Sequence] = None,
+    geometry: Optional[List[Tuple[str, Box, int]]] = None,
+    finalise: bool = True,
+) -> SwitchNetlist:
+    """Extract the transistor netlist of a placed cell from its masks.
+
+    Returns a :class:`~repro.verify.netlist.SwitchNetlist` whose nets
+    carry every hierarchical port name that landed on them, with rails
+    classified from ``vdd``/``gnd`` names and global (``!``) names
+    merged.  ``layers``/``ports`` override the flatten step (the
+    hierarchical extractor passes pre-translated tiles).
+
+    When ``geometry`` is a list, every conductor run is appended to it
+    as ``(layer, box, net)`` — channels as ``("channel", box, -1)`` —
+    and with ``finalise=False`` the global-name merge, rail
+    classification and floating-net prune are skipped so the recorded
+    net ids stay valid; the hierarchical extractor relies on both to
+    stitch tiles.
+    """
+    if layers is None:
+        layers = extract_layers(cell, rules)
+    if ports is None:
+        ports = list(cell.flatten_ports(Transform())) if cell is not None else []
+
+    sweep_input: Dict[str, List[Box]] = {
+        name: list(layers.get(name, ())) for name in CONDUCTOR_LAYERS
+    }
+    sweep_input["cut"] = list(layers.get("cut", ()))
+    sweep_input["implant"] = list(layers.get("implant", ()))
+
+    if batch.use_numpy():
+        sweep = _sweep_batch(sweep_input)
+    else:
+        sweep = _sweep_python(sweep_input)
+    sets, boxes, gate_of, terminals_of, depletion, cut_links = sweep
+
     for linked in cut_links:
         for node in linked[1:]:
-            graph.sets.union(linked[0], node)
+            sets.union(linked[0], node)
 
     # ------------------------------------------------------------------
     # Resolve components into nets and devices.
     # ------------------------------------------------------------------
     netlist = SwitchNetlist()
     net_of_component: Dict[int, int] = {}
-    kind_of: List[str] = [kind for kind, _ in graph.boxes]
+    kind_of: List[str] = [kind for kind, _ in boxes]
 
     def net_for(node: int) -> int:
-        root = graph.sets.find(node)
+        root = sets.find(node)
         net = net_of_component.get(root)
         if net is None:
             net = netlist.add_net()
@@ -286,10 +464,10 @@ def extract_netlist(
 
     # Channel components -> devices (deduplicated by component root).
     seen_channels: Dict[int, Tuple[Set[int], Set[int], bool]] = {}
-    for node in range(len(graph.boxes)):
+    for node in range(len(boxes)):
         if kind_of[node] != "channel":
             continue
-        root = graph.sets.find(node)
+        root = sets.find(node)
         gates, terminals, isdep = seen_channels.setdefault(
             root, (set(), set(), False)
         )
@@ -324,12 +502,12 @@ def extract_netlist(
     # Materialise nets for conductor components that carry no device so
     # port attachment below can still name them.
     component_boxes: Dict[int, List[Tuple[str, Box]]] = {}
-    for node, (kind, box) in enumerate(graph.boxes):
+    for node, (kind, box) in enumerate(boxes):
         if kind == "channel":
             if geometry is not None:
                 geometry.append(("channel", box, -1))
             continue
-        component_boxes.setdefault(graph.sets.find(node), []).append((kind, box))
+        component_boxes.setdefault(sets.find(node), []).append((kind, box))
     if geometry is not None:
         for root, boxes in component_boxes.items():
             net = net_for(root)

@@ -475,6 +475,19 @@ class TestExitCodes:
         assert main(["/nonexistent/never.par"]) == EXIT_IO
         assert "error:" in capsys.readouterr().err
 
+    def test_bad_geometry_kernel_exits_io(self, flow_files, capsys, monkeypatch):
+        # An unusable REPRO_KERNEL value is an environment problem:
+        # one actionable line on stderr, exit family 5, no traceback.
+        from repro.cli import EXIT_IO
+
+        monkeypatch.setenv("REPRO_KERNEL", "bogus")
+        parameter, _ = flow_files
+        assert main([str(parameter)]) == EXIT_IO
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "REPRO_KERNEL" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
     def test_unknown_tech_exits_generic(self, flow_files, capsys):
         from repro.cli import EXIT_ERROR
 
@@ -563,3 +576,52 @@ class TestServiceVerbs:
             main(["serve", "--help"])
         assert excinfo.value.code == 0
         assert "artifact store" in capsys.readouterr().out
+
+
+class TestTimingsFlag:
+    """--timings prints the per-stage wall-clock table run_flow records
+    (the same stage names the layout service stores per job)."""
+
+    def test_prints_stage_table(self, flow_files, capsys):
+        parameter, _ = flow_files
+        assert main([str(parameter), "--timings"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        header = next(i for i, line in enumerate(lines) if line.split() == ["stage", "seconds"])
+        # The plain flow runs generate and emit; total closes the table.
+        stages = [line.split()[0] for line in lines[header + 1:] if line.strip()]
+        assert stages[0] == "generate"
+        assert "emit" in stages
+        assert stages[-1] == "total"
+
+    def test_includes_compact_stage_when_compacting(self, flow_files, capsys):
+        parameter, _ = flow_files
+        assert main([str(parameter), "--compact", "x", "--timings"]) == 0
+        out = capsys.readouterr().out
+        stages = [line.split()[0] for line in out.splitlines() if line.strip()]
+        assert "compact" in stages
+        # Pipeline order is preserved in the printed table.
+        assert stages.index("generate") < stages.index("compact") < stages.index("total")
+
+    def test_off_by_default(self, flow_files, capsys):
+        parameter, _ = flow_files
+        assert main([str(parameter)]) == 0
+        out = capsys.readouterr().out
+        assert "seconds" not in out
+
+    def test_timings_table_shape(self):
+        from repro.cli import timings_table
+
+        table = timings_table({"generate": 0.5, "emit": 0.25})
+        lines = table.splitlines()
+        assert lines[0].split() == ["stage", "seconds"]
+        assert lines[1].split() == ["generate", "0.500"]
+        assert lines[2].split() == ["emit", "0.250"]
+        assert lines[3].split() == ["total", "0.750"]
+
+    def test_timings_table_keeps_unknown_stages(self):
+        from repro.cli import timings_table
+
+        table = timings_table({"generate": 0.1, "lint": 0.2})
+        stages = [line.split()[0] for line in table.splitlines()]
+        assert stages == ["stage", "generate", "lint", "total"]

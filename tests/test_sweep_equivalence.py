@@ -8,6 +8,14 @@ builds across multiple seeds and densities and require *identical*
 observable results: the same constraint multiset and solved widths, the
 same merged geometry, the same violation multiset, the same extracted
 components.  Plus direct unit coverage of the kernel primitives.
+
+The numpy batch kernel (:mod:`repro.geometry.batch`) rebuilt the same
+passes again on flat int64 arrays, with the interpreted sweep builds
+retained as *its* oracles behind the ``REPRO_KERNEL`` switch.  The
+second half of this file holds the batch half of the contract: the
+same case matrix driven through ``*_batch`` versus ``*_python``, the
+degenerate layouts (empty, single box, all-overlapping), the batch
+primitives, and the kernel-selection switch itself.
 """
 
 import random
@@ -26,6 +34,11 @@ from repro.compact import (
     visibility_constraints,
     visibility_constraints_reference,
 )
+from repro.compact.drc import check_layout_batch, check_layout_python
+from repro.compact.scanline import (
+    visibility_constraints_batch,
+    visibility_constraints_python,
+)
 from repro.geometry import (
     Box,
     IntervalFront,
@@ -34,9 +47,30 @@ from repro.geometry import (
     slab_decompose,
     subtract_intervals,
 )
-from repro.layout.database import merge_boxes, merge_boxes_reference
-from repro.route.extract import wire_components, wire_components_reference
+from repro.geometry import batch
+from repro.geometry.batch import merge_boxes_batch
+from repro.layout.database import (
+    merge_boxes,
+    merge_boxes_python,
+    merge_boxes_reference,
+)
+from repro.route.extract import (
+    wire_components,
+    wire_components_batch,
+    wire_components_python,
+    wire_components_reference,
+)
 from repro.route.style import RouteStyle
+
+try:
+    batch.require_numpy()
+    NUMPY_OK = True
+except batch.KernelUnavailableError:
+    NUMPY_OK = False
+
+requires_numpy = pytest.mark.skipif(
+    not NUMPY_OK, reason="numpy batch kernel unavailable"
+)
 
 LAYERS = ["diff", "poly", "metal1", "implant"]
 
@@ -190,8 +224,8 @@ class TestEquivalence:
         assert merge_boxes(boxes) == merge_boxes_reference(boxes)
 
 
-@pytest.mark.parametrize("seed,n,spread", CASES)
-def test_wire_components_identical_grouping(seed, n, spread):
+def random_wire_layers(seed, n, spread):
+    """Randomized routing-layer material for the extraction tests."""
     rng = random.Random(seed)
     layers = {}
     for _ in range(n):
@@ -201,7 +235,263 @@ def test_wire_components_identical_grouping(seed, n, spread):
         layers.setdefault(layer, []).append(
             Box(x, y, x + rng.randrange(1, 30), y + rng.randrange(1, 6))
         )
+    return layers
+
+
+@pytest.mark.parametrize("seed,n,spread", CASES)
+def test_wire_components_identical_grouping(seed, n, spread):
+    layers = random_wire_layers(seed, n, spread)
     style = RouteStyle()
     assert wire_components(layers, style) == wire_components_reference(
         layers, style
     )
+
+
+# ----------------------------------------------------------------------
+# Batch (numpy) kernel primitives
+# ----------------------------------------------------------------------
+@requires_numpy
+class TestBatchPrimitives:
+    def test_box_array_roundtrip(self):
+        boxes = [box for _, box in random_pairs(3, 40, 60)]
+        arrays = batch.boxes_to_arrays(boxes)
+        assert (
+            batch.boxes_from_arrays(
+                arrays.xmin, arrays.ymin, arrays.xmax, arrays.ymax
+            )
+            == boxes
+        )
+
+    def test_unique_sorted_matches_numpy_unique(self):
+        np = batch.require_numpy()
+        rng = random.Random(7)
+        values = np.array(
+            [rng.randrange(-50, 50) for _ in range(500)], dtype=np.int64
+        )
+        assert np.array_equal(batch.unique_sorted(values), np.unique(values))
+        empty = np.empty(0, dtype=np.int64)
+        assert batch.unique_sorted(empty).size == 0
+
+    def test_segmented_cummax_running_max_per_group(self):
+        np = batch.require_numpy()
+        groups = np.array([0, 0, 0, 2, 2, 5], dtype=np.int64)
+        values = np.array([3, 1, 5, 2, 7, 0], dtype=np.int64)
+        assert batch.segmented_cummax(groups, values).tolist() == [
+            3, 3, 5, 2, 7, 0,
+        ]
+
+    def test_segmented_cummax_overflow_fallback(self):
+        # groups x span overflowing int64 must take the rank-based path
+        # and still produce the per-group running maximum.
+        np = batch.require_numpy()
+        groups = np.array([0, 0, 2**21, 2**21], dtype=np.int64)
+        values = np.array([2**42, 5, -(2**42), 9], dtype=np.int64)
+        assert batch.segmented_cummax(groups, values).tolist() == [
+            2**42, 2**42, -(2**42), 9,
+        ]
+
+    def test_merged_slab_runs_matches_slab_decompose(self):
+        np = batch.require_numpy()
+        boxes = [box for _, box in random_pairs(9, 60, 80)]
+        arrays = batch.boxes_to_arrays(boxes)
+        ys = batch.slab_grid([arrays])
+        slab, x0, x1 = batch.merged_slab_runs(ys, arrays)
+        got = list(zip(slab.tolist(), x0.tolist(), x1.tolist()))
+        expected = []
+        grid = ys.tolist()
+        for index, (lo, hi) in enumerate(zip(grid, grid[1:])):
+            for run in _merged_runs_at(boxes, lo, hi):
+                expected.append((index, run[0], run[1]))
+        assert got == expected
+
+
+def _merged_runs_at(boxes, lo, hi):
+    """Oracle: merged x intervals of the material covering slab (lo, hi)."""
+    spans = [
+        (box.xmin, box.xmax)
+        for box in boxes
+        if box.ymin <= lo and box.ymax >= hi and box.xmin < box.xmax
+    ]
+    return merge_intervals(spans)
+
+
+# ----------------------------------------------------------------------
+# Batch kernel equivalence on randomized layouts
+# ----------------------------------------------------------------------
+@requires_numpy
+@pytest.mark.parametrize("seed,n,spread", CASES)
+@pytest.mark.parametrize("rules", [TECH_A, TECH_B], ids=lambda r: r.name)
+class TestBatchEquivalence:
+    """``*_batch`` versus ``*_python`` across the shared case matrix.
+
+    The interpreted sweep builds are the batch kernel's oracles — the
+    same contract the sweep kernel holds against its ``*_reference``
+    builds above, so a layout surviving both classes has three builds
+    in exact agreement.
+    """
+
+    def test_visibility_constraints_and_solved_widths(self, seed, n, spread, rules):
+        pairs = random_pairs(seed, n, spread)
+        batch_system, batch_boxes = build_edge_variables(pairs)
+        python_system, python_boxes = build_edge_variables(pairs)
+        batch_count = visibility_constraints_batch(batch_system, batch_boxes, rules)
+        python_count = visibility_constraints_python(
+            python_system, python_boxes, rules
+        )
+        assert batch_count == python_count
+        assert constraint_multiset(batch_system) == constraint_multiset(
+            python_system
+        )
+        add_width_constraints(batch_system, batch_boxes, rules, mode="min")
+        add_width_constraints(python_system, python_boxes, rules, mode="min")
+        batch_stats = solve_longest_path(batch_system)
+        python_stats = solve_longest_path(python_system)
+        assert batch_stats.solution == python_stats.solution
+        assert batch_stats.width() == python_stats.width()
+
+    def test_check_layout_violation_multiset(self, seed, n, spread, rules):
+        pairs = random_pairs(seed, n, spread)
+        layers = {}
+        for layer, box in pairs:
+            layers.setdefault(layer, []).append(box)
+        assert Counter(check_layout_batch(layers, rules)) == Counter(
+            check_layout_python(layers, rules)
+        )
+
+    def test_merge_boxes_identical_geometry(self, seed, n, spread, rules):
+        boxes = [box for _, box in random_pairs(seed, n, spread)]
+        assert merge_boxes_batch(boxes) == merge_boxes_python(boxes)
+
+
+@requires_numpy
+@pytest.mark.parametrize("seed,n,spread", CASES)
+def test_batch_wire_components_identical_grouping(seed, n, spread):
+    layers = random_wire_layers(seed, n, spread)
+    style = RouteStyle()
+    assert wire_components_batch(layers, style) == wire_components_python(
+        layers, style
+    )
+
+
+@requires_numpy
+def test_batch_verify_sweep_identical_netlist_parts():
+    """The mask-walk halves of netlist extraction agree on a real PLA."""
+    from repro.pla import TruthTable, generate_pla
+    from repro.verify.extract import (
+        CONDUCTOR_LAYERS,
+        _sweep_batch,
+        _sweep_python,
+        extract_layers,
+    )
+
+    table = TruthTable.parse(
+        """
+        1-0 | 10
+        01- | 11
+        -11 | 01
+        """
+    )
+    layers = extract_layers(generate_pla(table), None)
+    masks = {name: list(layers.get(name, ())) for name in CONDUCTOR_LAYERS}
+    masks["cut"] = list(layers.get("cut", ()))
+    masks["implant"] = list(layers.get("implant", ()))
+    result_python = _sweep_python(masks)
+    result_batch = _sweep_batch(masks)
+    # Same boxes, gates, and terminals; the union-find must induce the
+    # same node partition (compare canonical roots, not parent arrays).
+    assert result_python[1:] == result_batch[1:]
+    sets_python, sets_batch = result_python[0], result_batch[0]
+    assert [
+        sets_python.find(i) for i in range(len(sets_python.parent))
+    ] == [sets_batch.find(i) for i in range(len(sets_batch.parent))]
+
+
+# ----------------------------------------------------------------------
+# Batch kernel: degenerate layouts
+# ----------------------------------------------------------------------
+@requires_numpy
+class TestBatchDegenerateLayouts:
+    def run_all_passes(self, pairs):
+        """Drive every batch pass and its oracle over one tiny layout."""
+        batch_system, batch_boxes = build_edge_variables(pairs)
+        python_system, python_boxes = build_edge_variables(pairs)
+        assert visibility_constraints_batch(
+            batch_system, batch_boxes, TECH_A
+        ) == visibility_constraints_python(python_system, python_boxes, TECH_A)
+        assert constraint_multiset(batch_system) == constraint_multiset(
+            python_system
+        )
+        layers = {}
+        for layer, box in pairs:
+            layers.setdefault(layer, []).append(box)
+        assert Counter(check_layout_batch(layers, TECH_A)) == Counter(
+            check_layout_python(layers, TECH_A)
+        )
+        boxes = [box for _, box in pairs]
+        assert merge_boxes_batch(boxes) == merge_boxes_python(boxes)
+        style = RouteStyle()
+        assert wire_components_batch(layers, style) == wire_components_python(
+            layers, style
+        )
+
+    def test_empty_layout(self):
+        self.run_all_passes([])
+        assert merge_boxes_batch([]) == []
+        assert wire_components_batch({}, RouteStyle()) == wire_components_python(
+            {}, RouteStyle()
+        )
+
+    def test_single_box(self):
+        self.run_all_passes([("metal1", Box(0, 0, 6, 4))])
+
+    def test_all_overlapping(self):
+        # Every box intersects every other, on every layer: the dense
+        # corner where run merging and pair dedup do maximal coalescing.
+        pairs = [
+            (layer, Box(i, i, 20 - i, 20 - i))
+            for i in range(8)
+            for layer in ("diff", "poly", "metal1")
+        ]
+        self.run_all_passes(pairs)
+
+    def test_identical_stacked_boxes(self):
+        self.run_all_passes([("poly", Box(2, 2, 10, 8))] * 5)
+
+
+# ----------------------------------------------------------------------
+# Kernel selection switch
+# ----------------------------------------------------------------------
+class TestKernelSelection:
+    def test_python_forced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        assert batch.kernel_name() == "python"
+        assert not batch.use_numpy()
+
+    @requires_numpy
+    def test_numpy_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        assert batch.kernel_name() == "numpy"
+        assert batch.use_numpy()
+
+    @requires_numpy
+    def test_default_prefers_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert batch.kernel_name() == "numpy"
+
+    def test_unknown_kernel_is_one_actionable_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "fortran")
+        with pytest.raises(batch.KernelUnavailableError) as error:
+            batch.kernel_name()
+        message = str(error.value)
+        assert "REPRO_KERNEL" in message and "python" in message
+        # OSError subclass: the CLI maps it to exit-code family 5.
+        assert isinstance(error.value, OSError)
+
+    @requires_numpy
+    def test_dispatchers_follow_the_switch(self, monkeypatch):
+        boxes = [box for _, box in random_pairs(1, 40, 60)]
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        via_python = merge_boxes(boxes)
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        via_numpy = merge_boxes(boxes)
+        assert via_python == via_numpy == merge_boxes_python(boxes)
