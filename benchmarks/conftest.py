@@ -3,7 +3,10 @@
 Every benchmark prints the paper-shaped table through ``report`` (which
 bypasses pytest's capture) so the rows appear in ``bench_output.txt``,
 and records machine-readable timings through ``record``: each call
-appends a ``{"bench", "n", "seconds"}`` row, and at session finish the
+appends a ``{"bench", "n", "seconds"}`` row stamped with provenance
+(the active geometry kernel, the Python version, and a UTC timestamp —
+so a trajectory mixing kernels or interpreters is visible as such
+instead of reading as a regression), and at session finish the
 accumulated rows are merged into ``BENCH_compaction.json`` at the repo
 root — the seed of the performance trajectory that CI uploads per run
 (see the "Performance" section of ``docs/architecture.md``).  Rows are
@@ -15,7 +18,9 @@ the randomized-layout regime shared by the sweep-kernel benchmarks
 (``bench_scanline.py``, ``bench_sweep.py``).
 """
 
+import datetime
 import json
+import platform
 import random
 import time
 from pathlib import Path
@@ -25,6 +30,23 @@ import pytest
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_compaction.json"
 
 _RECORDS = []
+
+
+def _provenance():
+    """Environment stamp shared by every timing row of this session."""
+    try:
+        from repro.geometry.batch import kernel_name
+
+        kernel = kernel_name()
+    except Exception:
+        kernel = "unknown"
+    return {
+        "kernel": kernel,
+        "python": platform.python_version(),
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat(),
+    }
 
 
 def best_time(fn, repeats=3):
@@ -79,13 +101,15 @@ def record():
     ``record(bench, n, seconds)`` — ``bench`` names the workload (e.g.
     ``"scanline"``, ``"drc"``, ``"merge"``, ``"extract"``, or their
     ``*_reference`` counterparts), ``n`` is the problem size, and
-    ``seconds`` the measured wall time.
+    ``seconds`` the measured wall time.  Each row also carries the
+    session's provenance stamp (kernel, python, recorded_at).
     """
+    provenance = _provenance()
 
     def emit(bench, n, seconds):
-        _RECORDS.append(
-            {"bench": str(bench), "n": int(n), "seconds": float(seconds)}
-        )
+        row = {"bench": str(bench), "n": int(n), "seconds": float(seconds)}
+        row.update(provenance)
+        _RECORDS.append(row)
 
     return emit
 

@@ -24,14 +24,16 @@ Usage::
     python -m repro submit parameters.par --url http://127.0.0.1:8737 --wait
     python -m repro --version
 
-The ``serve``, ``submit`` and ``gc`` verbs are the layout-as-a-service
-front door (:mod:`repro.service`): ``serve`` runs the job-queue daemon
-with its shared artifact store (recovering orphaned jobs and torn
-artifacts on boot), ``submit`` sends the same parameter file to a
-running daemon instead of generating locally, and ``gc`` evicts
-least-recently-used artifacts and cache entries down to a byte budget
-(``repro gc --root DIR --max-bytes 512M``) without ever touching
-queued or running jobs.
+The ``serve``, ``submit``, ``gc``, ``stats`` and ``trace`` verbs are
+the layout-as-a-service front door (:mod:`repro.service`): ``serve``
+runs the job-queue daemon with its shared artifact store (recovering
+orphaned jobs and torn artifacts on boot), ``submit`` sends the same
+parameter file to a running daemon instead of generating locally,
+``gc`` evicts least-recently-used artifacts and cache entries down to
+a byte budget (``repro gc --root DIR --max-bytes 512M``) without ever
+touching queued or running jobs, ``stats`` pretty-prints a running
+daemon's ``/stats`` and ``/metrics`` telemetry, and ``trace`` renders
+the span tree a finished job recorded (:mod:`repro.obs`).
 
 Every failure mode exits with a family-specific code and a one-line
 diagnostic on stderr (no raw tracebacks): 1 generic, 2 usage (argparse),
@@ -88,8 +90,15 @@ from .lang.param_file import parse_parameters
 from .layout.cif import write_cif
 from .layout.render import ascii_render, svg_render
 from .layout.sample import load_sample
+from .obs import trace as obs_trace
 
-__all__ = ["main", "run_flow", "exit_code_for", "timings_table"]
+__all__ = [
+    "main",
+    "run_flow",
+    "exit_code_for",
+    "solver_summary_lines",
+    "timings_table",
+]
 
 # Exit-code families: every failure mode maps to a stable, distinct
 # code (tested in tests/test_cli.py) so scripts and CI can branch on
@@ -182,8 +191,30 @@ def run_flow(
     dict, receives per-stage wall-clock seconds under the same stage
     names :func:`repro.service.jobs.execute_job` records (``generate``
     / ``compact`` / ``route`` / ``verify`` / ``emit``) — the
-    ``--timings`` flag prints them as a table.
+    ``--timings`` flag prints them as a table.  Stage timing is
+    span-derived (:mod:`repro.obs.trace`): asking for timings (or
+    ``REPRO_TRACE=1``) activates a tracer if none is ambient, and each
+    stage's wall time is its ``job.<stage>`` span's duration.
     """
+    if obs_trace.active() is None and (
+        timings is not None or obs_trace.local_enabled()
+    ):
+        with obs_trace.activated(obs_trace.Tracer()):
+            return run_flow(
+                parameter_path,
+                overrides,
+                output_stream,
+                compact_axes=compact_axes,
+                solver=solver,
+                technology=technology,
+                route_path=route_path,
+                router=router,
+                jobs=jobs,
+                cache_dir=cache_dir,
+                verify_mode=verify_mode,
+                sim_vectors=sim_vectors,
+                timings=timings,
+            )
     if compact_axes and route_path:
         # The composite is built from the workspace cells, which flat
         # compaction does not touch — allowing both would print
@@ -203,91 +234,94 @@ def run_flow(
             " .concept_file (design file)"
         )
 
-    started = time.perf_counter()
-    rsg = Rsg()
-    load_sample(sample_path, rsg)
-    interpreter = Interpreter(rsg)
-    interpreter.set_parameters(parameters.bindings)
-    result = interpreter.run_file(design_path)
+    with obs_trace.span("job.generate") as stage_span:
+        rsg = Rsg()
+        load_sample(sample_path, rsg)
+        interpreter = Interpreter(rsg)
+        interpreter.set_parameters(parameters.bindings)
+        result = interpreter.run_file(design_path)
 
-    output_cell_name = parameters.directives.get("output_cell")
-    if output_cell_name:
-        cell = rsg.cells.lookup(output_cell_name)
-    elif isinstance(result, CellDefinition):
-        cell = result
-    else:
-        raise RsgError(
-            "design file did not end with mk_cell and no .output_cell"
-            " directive was given"
-        )
+        output_cell_name = parameters.directives.get("output_cell")
+        if output_cell_name:
+            cell = rsg.cells.lookup(output_cell_name)
+        elif isinstance(result, CellDefinition):
+            cell = result
+        else:
+            raise RsgError(
+                "design file did not end with mk_cell and no .output_cell"
+                " directive was given"
+            )
     if timings is not None:
-        timings["generate"] = time.perf_counter() - started
+        timings["generate"] = stage_span.duration_s
 
     if compact_axes:
-        started = time.perf_counter()
-        cell = _compact_flow_cell(
-            cell, compact_axes, solver, technology, output_stream,
-            jobs=jobs, cache_dir=cache_dir,
-        )
+        with obs_trace.span("job.compact") as stage_span:
+            cell = _compact_flow_cell(
+                cell, compact_axes, solver, technology, output_stream,
+                jobs=jobs, cache_dir=cache_dir,
+            )
         if timings is not None:
-            timings["compact"] = time.perf_counter() - started
+            timings["compact"] = stage_span.duration_s
 
     plan = None
     if route_path:
         from .route import compose_from_netfile
 
-        started = time.perf_counter()
-        rules = {"A": TECH_A, "B": TECH_B}.get(technology.upper())
-        if rules is None:
-            raise RsgError(f"unknown technology {technology!r} (use A or B)")
-        with open(route_path, "r", encoding="utf-8") as handle:
-            net_text = handle.read()
-        cell, plan = compose_from_netfile(
-            net_text, rsg.cells, name=f"{cell.name}_routed",
-            rules=rules, router=router,
-        )
+        with obs_trace.span("job.route") as stage_span:
+            rules = {"A": TECH_A, "B": TECH_B}.get(technology.upper())
+            if rules is None:
+                raise RsgError(f"unknown technology {technology!r} (use A or B)")
+            with open(route_path, "r", encoding="utf-8") as handle:
+                net_text = handle.read()
+            cell, plan = compose_from_netfile(
+                net_text, rsg.cells, name=f"{cell.name}_routed",
+                rules=rules, router=router,
+            )
         if timings is not None:
-            timings["route"] = time.perf_counter() - started
+            timings["route"] = stage_span.duration_s
         if output_stream is not None:
             print(plan.summary(), file=output_stream)
 
     if verify_mode:
-        started = time.perf_counter()
-        _verify_flow_cell(
-            cell, plan, verify_mode, sim_vectors, technology, output_stream,
-        )
+        with obs_trace.span("job.verify") as stage_span:
+            _verify_flow_cell(
+                cell, plan, verify_mode, sim_vectors, technology, output_stream,
+            )
         if timings is not None:
-            timings["verify"] = time.perf_counter() - started
+            timings["verify"] = stage_span.duration_s
 
-    started = time.perf_counter()
-    output_path = parameters.directives.get("output_file")
-    output_format = parameters.directives.get("format", "cif").lower()
-    if output_path:
-        if output_format == "cif":
-            write_cif(cell, output_path)
-        elif output_format == "svg":
-            with open(output_path, "w", encoding="utf-8") as handle:
-                handle.write(svg_render(cell))
-        elif output_format == "ascii":
-            with open(output_path, "w", encoding="utf-8") as handle:
-                handle.write(ascii_render(cell))
-        else:
-            raise RsgError(f"unknown output format {output_format!r}")
-        if output_stream is not None:
-            print(f"wrote {output_format} to {output_path}", file=output_stream)
+    with obs_trace.span("job.emit") as stage_span:
+        output_path = parameters.directives.get("output_file")
+        output_format = parameters.directives.get("format", "cif").lower()
+        if output_path:
+            if output_format == "cif":
+                write_cif(cell, output_path)
+            elif output_format == "svg":
+                with open(output_path, "w", encoding="utf-8") as handle:
+                    handle.write(svg_render(cell))
+            elif output_format == "ascii":
+                with open(output_path, "w", encoding="utf-8") as handle:
+                    handle.write(ascii_render(cell))
+            else:
+                raise RsgError(f"unknown output format {output_format!r}")
+            if output_stream is not None:
+                print(
+                    f"wrote {output_format} to {output_path}", file=output_stream
+                )
     if timings is not None:
-        timings["emit"] = time.perf_counter() - started
+        timings["emit"] = stage_span.duration_s
     return cell
 
 
-def timings_table(timings: Dict[str, float]) -> str:
+def timings_table(timings: Dict[str, float], extras: tuple = ()) -> str:
     """Format per-stage wall timings as the ``--timings`` table.
 
     Stages print in pipeline order (``generate`` / ``compact`` /
     ``route`` / ``verify`` / ``emit``); stages that did not run are
-    omitted, and a total row closes the table.  The same shape works
-    for the stage timings a service :class:`~repro.service.jobs.JobResult`
-    carries.
+    omitted, and a total row closes the table.  ``extras`` lines (the
+    solver summaries from the run's trace spans) are appended verbatim
+    after the total.  The same shape works for the stage timings a
+    service :class:`~repro.service.jobs.JobResult` carries.
     """
     stage_order = ("generate", "compact", "route", "verify", "emit")
     rows = [f"{'stage':<10} {'seconds':>9}"]
@@ -298,7 +332,36 @@ def timings_table(timings: Dict[str, float]) -> str:
         if stage not in stage_order:
             rows.append(f"{stage:<10} {timings[stage]:>9.3f}")
     rows.append(f"{'total':<10} {sum(timings.values()):>9.3f}")
+    rows.extend(extras)
     return "\n".join(rows)
+
+
+def solver_summary_lines(spans) -> tuple:
+    """Summarise ``solver.solve`` spans for the ``--timings`` table.
+
+    Aggregates iteration and relaxation counts per solver backend —
+    the :class:`~repro.compact.solvers.base.SolveStats` numbers that
+    used to be ``__str__``-only — one line per backend used.
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        if span.name != "solver.solve":
+            continue
+        backend = str(span.attributes.get("backend", "?"))
+        entry = totals.setdefault(
+            backend, {"solves": 0, "passes": 0, "relaxations": 0, "seconds": 0.0}
+        )
+        entry["solves"] += 1
+        entry["passes"] += span.attributes.get("passes", 0)
+        entry["relaxations"] += span.attributes.get("relaxations", 0)
+        entry["seconds"] += span.duration_s
+    return tuple(
+        f"solver {backend}: {int(entry['solves'])} solve(s),"
+        f" {int(entry['passes'])} pass(es),"
+        f" {int(entry['relaxations'])} relaxation(s)"
+        f" in {entry['seconds']:.3f}s"
+        for backend, entry in sorted(totals.items())
+    )
 
 
 def _verify_flow_cell(
@@ -417,7 +480,9 @@ def _compact_flow_cell(
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point: the batch flow plus the service verbs."""
     arguments_list = list(sys.argv[1:] if argv is None else argv)
-    if arguments_list and arguments_list[0] in ("serve", "submit", "gc"):
+    if arguments_list and arguments_list[0] in (
+        "serve", "submit", "gc", "stats", "trace"
+    ):
         verb, rest = arguments_list[0], arguments_list[1:]
         try:
             if verb == "serve":
@@ -428,6 +493,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 from .service.store import gc_main
 
                 return gc_main(rest)
+            if verb == "stats":
+                from .service.client import stats_main
+
+                return stats_main(rest)
+            if verb == "trace":
+                from .service.client import trace_main
+
+                return trace_main(rest)
             from .service.client import submit_main
 
             return submit_main(rest)
@@ -438,9 +511,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regular Structure Generator: design file + sample"
-        " layout + parameter file -> layout.  The 'serve', 'submit' and"
-        " 'gc' verbs operate the layout service instead (see 'repro"
-        " serve --help' / 'repro submit --help' / 'repro gc --help').",
+        " layout + parameter file -> layout.  The 'serve', 'submit',"
+        " 'gc', 'stats' and 'trace' verbs operate the layout service"
+        " instead (see 'repro <verb> --help').",
     )
     from . import __version__
 
@@ -564,22 +637,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     stage_timings: Optional[Dict[str, float]] = (
         {} if arguments.timings else None
     )
+    tracer: Optional[obs_trace.Tracer] = (
+        obs_trace.Tracer()
+        if arguments.timings or obs_trace.local_enabled()
+        else None
+    )
     try:
-        cell = run_flow(
-            arguments.parameter_file,
-            arguments.set,
-            sys.stdout,
-            compact_axes=arguments.compact,
-            solver=arguments.solver,
-            technology=arguments.tech or "A",
-            route_path=arguments.route,
-            router=arguments.router,
-            jobs=arguments.jobs,
-            cache_dir=arguments.cache_dir,
-            verify_mode=arguments.verify,
-            sim_vectors=arguments.sim_vectors,
-            timings=stage_timings,
-        )
+        with (
+            obs_trace.activated(tracer)
+            if tracer is not None
+            else _null_context()
+        ):
+            cell = run_flow(
+                arguments.parameter_file,
+                arguments.set,
+                sys.stdout,
+                compact_axes=arguments.compact,
+                solver=arguments.solver,
+                technology=arguments.tech or "A",
+                route_path=arguments.route,
+                router=arguments.router,
+                jobs=arguments.jobs,
+                cache_dir=arguments.cache_dir,
+                verify_mode=arguments.verify,
+                sim_vectors=arguments.sim_vectors,
+                timings=stage_timings,
+            )
     except Exception as error:  # noqa: BLE001 — mapped to exit families
         return _report_error(error)
     print(
@@ -587,10 +670,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         f" {cell.count_instances(recursive=True)} instances"
     )
     if stage_timings is not None:
-        print(timings_table(stage_timings))
+        extras = solver_summary_lines(tracer.finished()) if tracer else ()
+        print(timings_table(stage_timings, extras=extras))
     if arguments.render:
         print(ascii_render(cell))
     return 0
+
+
+def _null_context():
+    """A no-op context manager (the untraced run_flow path)."""
+    import contextlib
+
+    return contextlib.nullcontext()
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..geometry import Box, batch, interval_gaps, slab_decompose
+from ..obs import trace as obs_trace
 from .rules import DesignRules
 
 __all__ = [
@@ -67,7 +68,11 @@ def check_layout(
     same violation multiset (emission order may differ).
     """
     if batch.use_numpy():
+        if obs_trace.is_enabled():
+            obs_trace.annotate(kernel="numpy")
         return check_layout_batch(layers, rules)
+    if obs_trace.is_enabled():
+        obs_trace.annotate(kernel="python")
     return check_layout_python(layers, rules)
 
 

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.cell import CellDefinition
 from ..geometry import Box
 from ..layout.database import FlatLayout, flatten_cell, merge_boxes
+from ..obs import trace as obs_trace
 from .constraints import ConstraintSystem
 from .drc import Violation, check_layout
 from .rubberband import alignment_pairs, misalignment, rubber_band_solve
@@ -124,7 +125,9 @@ def compact_layout(
     else:
         raise ValueError(f"unknown constraint method {method!r}")
 
-    stats = solve_longest_path(system, sort_edges=sort_edges, solver=solver)
+    with obs_trace.span("solver.solve", axis=axis) as solve_span:
+        stats = solve_longest_path(system, sort_edges=sort_edges, solver=solver)
+        solve_span.set(**stats.to_dict())
     solution = stats.solution
     align = alignment_pairs(comp_boxes)
     result = CompactionResult(stats=stats)

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geometry import Box, IntervalFront, batch
+from ..obs import trace as obs_trace
 from .constraints import Constraint, ConstraintSystem
 from .rules import DesignRules, RuleTables
 
@@ -227,7 +228,11 @@ def visibility_constraints(
     spacing constraints generated.
     """
     if batch.use_numpy():
+        if obs_trace.is_enabled():
+            obs_trace.annotate(kernel="numpy")
         return visibility_constraints_batch(system, boxes, rules)
+    if obs_trace.is_enabled():
+        obs_trace.annotate(kernel="python")
     return visibility_constraints_python(system, boxes, rules)
 
 

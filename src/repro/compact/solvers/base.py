@@ -93,6 +93,25 @@ class SolveStats:
             parts.append(f"{self.reused} reused")
         return ", ".join(parts)
 
+    def to_dict(self) -> Dict[str, object]:
+        """The diagnostics as a JSON-ready dict (no variable solution).
+
+        This is what rides on ``solver.solve`` trace spans and in
+        machine-readable reports — counts and shape only; the solution
+        mapping stays behind because it is large and non-serialisable
+        (its keys are :class:`~repro.compact.constraints.Variable`).
+        """
+        return {
+            "backend": self.backend,
+            "passes": self.passes,
+            "relaxations": self.relaxations,
+            "sorted_edges": self.sorted_edges,
+            "variables": len(self.solution),
+            "width": self.width(),
+            "lower_bound": self.lower_bound,
+            "reused": self.reused,
+        }
+
 
 class SolverBackend(Protocol):
     """What the compaction layer requires of a solver implementation."""

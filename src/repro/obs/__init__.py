@@ -1,0 +1,56 @@
+"""Flight-recorder observability: spans, metrics, and trace rendering.
+
+The :mod:`repro.obs` package is the stdlib-only telemetry layer for the
+layout stack.  It has three pillars:
+
+* :mod:`repro.obs.trace` — hierarchical :class:`~repro.obs.trace.Span`
+  records collected by a process-local :class:`~repro.obs.trace.Tracer`,
+  with a propagation token that crosses the client → HTTP → store →
+  worker-process boundary so one ``repro submit`` yields a single span
+  tree.
+* :mod:`repro.obs.metrics` — mergeable counters, gauges, and
+  fixed-bucket histograms gathered in a
+  :class:`~repro.obs.metrics.MetricsRegistry` and rendered as Prometheus
+  text exposition (``GET /metrics``) or JSON (``/stats``).
+* :mod:`repro.obs.render` — the JSONL codec for persisted trace
+  artifacts and the indented-tree renderer behind ``repro trace``.
+
+When tracing is disabled (the default outside the service) every hook
+degrades to a near-zero-cost no-op, so the batched geometry kernels stay
+as fast as PR 9 left them.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.render import render_trace, spans_from_jsonl, spans_to_jsonl
+from repro.obs.trace import (
+    TRACE_HEADER,
+    Span,
+    Tracer,
+    activated,
+    active,
+    annotate,
+    is_enabled,
+    parse_token,
+    propagation_token,
+    span,
+)
+
+__all__ = [
+    "TRACE_HEADER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "activated",
+    "active",
+    "annotate",
+    "is_enabled",
+    "parse_token",
+    "propagation_token",
+    "render_trace",
+    "span",
+    "spans_from_jsonl",
+    "spans_to_jsonl",
+]

@@ -1,0 +1,243 @@
+"""Mergeable counters, gauges, and histograms with Prometheus output.
+
+The instruments follow the shape of ``CacheStats`` — plain mergeable
+dataclasses — so fleet-wide aggregation is a fold.  A
+:class:`MetricsRegistry` keys instruments by ``(name, labels)`` and
+renders the whole collection either as Prometheus text exposition
+format 0.0.4 (served at ``GET /metrics``) or as a JSON-friendly dict
+(folded into ``/stats``).
+
+Histograms use a fixed bucket ladder chosen for stage latencies
+(1 ms … 10 s), which keeps them mergeable across processes without
+negotiation: same buckets everywhere, merge is element-wise addition.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> "Counter":
+        """Fold another counter into this one; returns ``self``."""
+        self.value += other.value
+        return self
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that can go up or down."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = value
+
+    def merge(self, other: "Gauge") -> "Gauge":
+        """Fold another gauge in by summation (fleet totals); returns ``self``."""
+        self.value += other.value
+        return self
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket cumulative histogram of observations."""
+
+    buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+    counts: List[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self):
+        """Initialise the per-bucket counts (one extra for +Inf)."""
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another same-shaped histogram in; returns ``self``."""
+        if other.buckets != self.buckets:
+            raise ValueError("cannot merge histograms with different buckets")
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.total += other.total
+        self.count += other.count
+        return self
+
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus text format rules."""
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _format_value(value: float) -> str:
+    """Format a sample value; integers render without a trailing .0."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Mapping[str, str], extra: str = "") -> str:
+    """Render a ``{k="v",...}`` label block ('' when empty and no extra)."""
+    parts = [f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class MetricsRegistry:
+    """A collection of named, labelled instruments."""
+
+    def __init__(self):
+        """Create an empty registry."""
+        self._metrics: Dict[
+            Tuple[str, Tuple[Tuple[str, str], ...]], Any
+        ] = {}
+        self._help: Dict[str, str] = {}
+        self._type: Dict[str, str] = {}
+
+    def _get(
+        self,
+        kind: str,
+        factory,
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, str]],
+    ):
+        key = (name, tuple(sorted((labels or {}).items())))
+        instrument = self._metrics.get(key)
+        if instrument is None:
+            instrument = self._metrics[key] = factory()
+            self._help.setdefault(name, help_text)
+            self._type.setdefault(name, kind)
+        return instrument
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        """Get or create the counter ``name`` with ``labels``."""
+        return self._get("counter", Counter, name, help_text, labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        """Get or create the gauge ``name`` with ``labels``."""
+        return self._get("gauge", Gauge, name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` with ``labels``."""
+        return self._get(
+            "histogram", lambda: Histogram(buckets=buckets), name, help_text, labels
+        )
+
+    def to_prometheus(self) -> str:
+        """Render every instrument as Prometheus text exposition 0.0.4."""
+        by_name: Dict[str, List[Tuple[Dict[str, str], Any]]] = {}
+        for (name, label_items), instrument in sorted(self._metrics.items()):
+            by_name.setdefault(name, []).append((dict(label_items), instrument))
+
+        lines: List[str] = []
+        for name, series in by_name.items():
+            help_text = self._help.get(name, "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {self._type.get(name, 'untyped')}")
+            for labels, instrument in series:
+                if isinstance(instrument, Histogram):
+                    cumulative = 0
+                    bounds = list(instrument.buckets) + [math.inf]
+                    for bound, bucket_count in zip(bounds, instrument.counts):
+                        cumulative += bucket_count
+                        le = _labels_text(labels, f'le="{_format_value(bound)}"')
+                        lines.append(f"{name}_bucket{le} {cumulative}")
+                    lines.append(
+                        f"{name}_sum{_labels_text(labels)}"
+                        f" {_format_value(instrument.total)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_labels_text(labels)} {instrument.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_labels_text(labels)}"
+                        f" {_format_value(instrument.value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Render every instrument as a JSON-friendly nested dict."""
+        out: Dict[str, Any] = {}
+        for (name, label_items), instrument in sorted(self._metrics.items()):
+            entry: Dict[str, Any] = {"type": self._type.get(name, "untyped")}
+            if label_items:
+                entry["labels"] = dict(label_items)
+            if isinstance(instrument, Histogram):
+                entry["count"] = instrument.count
+                entry["sum"] = instrument.total
+                entry["mean"] = instrument.mean()
+                entry["buckets"] = {
+                    _format_value(bound): c
+                    for bound, c in zip(
+                        list(instrument.buckets) + [math.inf], instrument.counts
+                    )
+                }
+            else:
+                entry["value"] = instrument.value
+            key = name if not label_items else f"{name}{_labels_text(dict(label_items))}"
+            out[key] = entry
+        return out

@@ -24,7 +24,17 @@ pipeline functions in a long-running service:
   ``repro submit`` CLI verbs;
 * :mod:`repro.service.chaos` — deterministic, seeded fault injection
   (crashes, torn writes, disk errors, stalls, dropped connections)
-  behind narrow hook seams, driving the chaos test suite.
+  behind narrow hook seams, driving the chaos test suite;
+* :mod:`repro.service.metrics` — the ``/metrics`` registry builder,
+  folding the scattered service counters and per-stage latencies into
+  one :class:`~repro.obs.metrics.MetricsRegistry` (Prometheus text at
+  ``GET /metrics``, JSON under ``/stats``).
+
+The service is also traced end to end (:mod:`repro.obs`): a submission
+carrying an ``X-Repro-Trace-Id`` header joins the client's trace, the
+worker roots its execution spans under it via the job row, and the
+finished span tree is persisted as a digest-verified ``trace.jsonl``
+artifact rendered by ``repro trace <fingerprint>``.
 
 Deduplication is end-to-end: N identical concurrent submissions cause
 exactly one pipeline execution, and a warm resubmission is served from
@@ -37,8 +47,9 @@ budget without touching live jobs.
 """
 
 from .chaos import FaultPlan, FaultSpec
-from .client import ServiceClient, submit_main
+from .client import ServiceClient, stats_main, submit_main, trace_main
 from .jobs import JobResult, JobSpec, execute_job, fingerprint_spec
+from .metrics import build_registry
 from .server import DEFAULT_PORT, LayoutServer, serve_main
 from .store import Store, gc_main
 from .workers import WorkerPool
@@ -53,9 +64,12 @@ __all__ = [
     "ServiceClient",
     "Store",
     "WorkerPool",
+    "build_registry",
     "execute_job",
     "fingerprint_spec",
     "gc_main",
     "serve_main",
+    "stats_main",
     "submit_main",
+    "trace_main",
 ]

@@ -33,9 +33,12 @@ import urllib.request
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..core.errors import ServiceError
+from ..obs import trace as obs_trace
+from ..obs.render import render_trace, spans_from_jsonl
+from ..obs.trace import TRACE_HEADER, Span, Tracer, propagation_token
 from .jobs import JobSpec
 
-__all__ = ["ServiceClient", "submit_main"]
+__all__ = ["ServiceClient", "stats_main", "submit_main", "trace_main"]
 
 #: connection-level failures a retry can heal: the server restarting,
 #: a dropped response, a reset mid-flight
@@ -100,10 +103,13 @@ class ServiceClient:
             header = {"Content-Type": "application/json"}
         delay = self.backoff
         attempt = 0
+        tracer = obs_trace.active()
         while True:
             request = urllib.request.Request(self.url + path, data=data)
             for name, value in (header or {}).items():
                 request.add_header(name, value)
+            if tracer is not None:
+                request.add_header(TRACE_HEADER, propagation_token(tracer))
             try:
                 with urllib.request.urlopen(
                     request, timeout=self.timeout
@@ -161,9 +167,22 @@ class ServiceClient:
             return None
 
     def submit(self, spec: Union[JobSpec, Dict[str, Any]]) -> Dict[str, Any]:
-        """Submit a spec; returns ``{job, state, deduplicated}``."""
+        """Submit a spec; returns ``{job, state, deduplicated}``.
+
+        When a tracer is ambient the POST is wrapped in a
+        ``client.request`` span carrying the retry count — the client
+        half of the job's trace tree (a no-op otherwise).
+        """
         payload = spec.to_dict() if isinstance(spec, JobSpec) else spec
-        return self._request("/jobs", payload=payload)
+        with obs_trace.span("client.request", path="/jobs") as request_span:
+            before = self.retries
+            submitted = self._request("/jobs", payload=payload)
+            request_span.set(
+                retries=self.retries - before,
+                state=submitted.get("state"),
+                deduplicated=submitted.get("deduplicated"),
+            )
+        return submitted
 
     def status(self, job: str) -> Dict[str, Any]:
         """The job's ledger row."""
@@ -191,24 +210,31 @@ class ServiceClient:
         """
         deadline = time.monotonic() + timeout
         interval = poll_interval
-        while True:
-            result = self.result(job)
-            state = result.get("state")
-            if state == "done":
-                return result
-            if state == "failed":
-                raise ServiceError(
-                    f"job {job} failed: {result.get('error') or 'unknown error'}"
-                )
-            if time.monotonic() >= deadline:
-                raise ServiceError(
-                    f"job {job} still {state} after {timeout:g}s"
-                )
-            self._sleep(min(interval, max(0.0, deadline - time.monotonic())))
-            interval = min(max_poll_interval, interval * 2)
+        polls = 0
+        with obs_trace.span("client.wait") as wait_span:
+            while True:
+                result = self.result(job)
+                polls += 1
+                state = result.get("state")
+                if state == "done":
+                    wait_span.set(polls=polls, state=state)
+                    return result
+                if state == "failed":
+                    wait_span.set(polls=polls, state=state)
+                    raise ServiceError(
+                        f"job {job} failed: {result.get('error') or 'unknown error'}"
+                    )
+                if time.monotonic() >= deadline:
+                    wait_span.set(polls=polls, state=state)
+                    raise ServiceError(
+                        f"job {job} still {state} after {timeout:g}s"
+                    )
+                self._sleep(min(interval, max(0.0, deadline - time.monotonic())))
+                interval = min(max_poll_interval, interval * 2)
 
     def artifact(self, job: str, name: str) -> bytes:
-        """Download one artifact (``layout.cif`` or ``result.json``)."""
+        """Download one artifact (``layout.cif``, ``result.json``,
+        ``trace.jsonl``)."""
         return self._request(f"/jobs/{job}/artifact/{name}", raw=True)
 
     def health(self) -> Dict[str, Any]:
@@ -218,6 +244,17 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         """The ``/stats`` observability payload."""
         return self._request("/stats")
+
+    def metrics(self) -> str:
+        """The ``/metrics`` Prometheus text exposition."""
+        return self._request("/metrics", raw=True).decode("utf-8")
+
+    def post_trace(self, job: str, spans: List[Span]) -> Dict[str, Any]:
+        """Attach finished client spans to a job's stored trace."""
+        return self._request(
+            f"/jobs/{job}/trace",
+            payload={"spans": [s.to_dict() for s in spans]},
+        )
 
 
 def _spec_from_files(arguments) -> JobSpec:
@@ -312,6 +349,28 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
 
     spec = _spec_from_files(arguments)
     client = ServiceClient(arguments.url)
+    if not obs_trace.service_enabled():
+        code, _ = _submit_flow(arguments, client, spec)
+        return code
+
+    tracer = Tracer()
+    job: Optional[str] = None
+    with obs_trace.activated(tracer):
+        with tracer.span("client.submit") as root:
+            root.set(url=arguments.url)
+            code, job = _submit_flow(arguments, client, spec)
+    if job is not None:
+        try:
+            client.post_trace(job, tracer.drain())
+        except ServiceError:
+            pass  # an old server without /trace still served the job
+    return code
+
+
+def _submit_flow(
+    arguments, client: ServiceClient, spec: JobSpec
+) -> Tuple[int, Optional[str]]:
+    """The submit → wait → download round-trip; returns (code, job)."""
     started = time.perf_counter()
     submitted = client.submit(spec)
     job = submitted["job"]
@@ -321,7 +380,7 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
     )
     if arguments.no_wait:
         print(f"poll with: GET {arguments.url}/jobs/{job}")
-        return 0
+        return 0, job
     result = client.wait(job, timeout=arguments.timeout)
     elapsed = time.perf_counter() - started
     summary = result.get("result") or {}
@@ -334,4 +393,117 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
         with open(arguments.output, "wb") as handle:
             handle.write(payload)
         print(f"wrote layout to {arguments.output}")
+    return 0, job
+
+
+def stats_main(argv: Optional[List[str]] = None) -> int:
+    """``repro stats``: pretty-print a running service's telemetry.
+
+    Fetches ``/stats`` (the JSON digest) and, with ``--metrics``, the
+    raw ``/metrics`` Prometheus text.  An unreachable service raises
+    :class:`~repro.core.errors.ServiceError` — the CLI maps that to
+    exit family 6 like every other service failure.
+    """
+    import argparse
+
+    from .server import DEFAULT_PORT
+
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="Show queue, dedup, cache, worker, and latency"
+        " statistics from a running layout service.",
+    )
+    parser.add_argument(
+        "--url",
+        default=f"http://127.0.0.1:{DEFAULT_PORT}",
+        help=f"service base URL (default: http://127.0.0.1:{DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="also print the raw /metrics Prometheus exposition",
+    )
+    arguments = parser.parse_args(argv)
+    client = ServiceClient(arguments.url, max_retries=0)
+    stats = client.stats()
+
+    jobs = stats.get("jobs", {})
+    states = ", ".join(f"{state}={count}" for state, count in sorted(jobs.items()))
+    print(f"jobs: {states or 'none'}")
+    print(
+        f"queue: depth {stats.get('queue_depth')}"
+        f" (max {stats.get('max_queue_depth') or 'unbounded'}),"
+        f" {stats.get('backpressure_rejections', 0)} rejection(s)"
+    )
+    dedup = stats.get("dedup_factor")
+    print(
+        f"throughput: {stats.get('submissions')} submission(s),"
+        f" {stats.get('executions')} execution(s)"
+        + (f", dedup x{dedup:.2f}" if dedup else "")
+    )
+    print(
+        f"workers: {stats.get('workers')} alive,"
+        f" {stats.get('timeouts', 0)} timeout(s),"
+        f" {stats.get('crashes', 0)} crash(es),"
+        f" {stats.get('respawns', 0)} respawn(s)"
+    )
+    cache = stats.get("cache", {})
+    hit_rate = cache.get("hit_rate")
+    print(
+        "cache: "
+        + (f"hit rate {hit_rate:.1%}" if hit_rate is not None else "no lookups yet")
+    )
+    print(
+        f"robustness: {stats.get('quarantined', 0)} quarantined,"
+        f" {stats.get('recovery_requeued', 0)} recovery requeue(s),"
+        f" {stats.get('evicted', 0)} evicted"
+    )
+    latency = stats.get("stage_latency", {})
+    if latency:
+        print("stage latency:")
+        for stage, row in sorted(latency.items()):
+            print(
+                f"  {stage:<10} n={row['count']:<5}"
+                f" mean {row['mean_s'] * 1000.0:8.2f} ms"
+                f"  max {row['max_s'] * 1000.0:8.2f} ms"
+            )
+    if arguments.metrics:
+        print()
+        print(client.metrics(), end="")
+    return 0
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    """``repro trace``: render a job's stored span tree.
+
+    Downloads the digest-verified ``trace.jsonl`` artifact and prints
+    the indented tree (durations in ms, statuses, key attributes).  An
+    unknown job or a trace-less job answers HTTP 404, which surfaces as
+    a :class:`~repro.core.errors.ServiceError` (exit family 6).
+    """
+    import argparse
+
+    from .server import DEFAULT_PORT
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Render the span tree a job recorded while it was"
+        " submitted, claimed, and executed.",
+    )
+    parser.add_argument("fingerprint", help="the job fingerprint (repro submit prints it)")
+    parser.add_argument(
+        "--url",
+        default=f"http://127.0.0.1:{DEFAULT_PORT}",
+        help=f"service base URL (default: http://127.0.0.1:{DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the raw JSONL artifact instead of the tree",
+    )
+    arguments = parser.parse_args(argv)
+    client = ServiceClient(arguments.url, max_retries=0)
+    payload = client.artifact(arguments.fingerprint, "trace.jsonl")
+    if arguments.as_json:
+        print(payload.decode("utf-8"), end="")
+        return 0
+    print(render_trace(spans_from_jsonl(payload)))
     return 0

@@ -20,9 +20,12 @@ one job:
 
 :func:`execute_job` is the pure pipeline the workers run: generate →
 compact → route → verify → emit, returning a :class:`JobResult` with
-the CIF text, the stage reports, and per-stage wall timings.  It takes
-an optional shared :class:`~repro.compact.cache.CompactionCache`, which
-is how the store's compaction memos reach every worker.
+the CIF text, the stage reports, and per-stage wall timings.  Each
+stage runs inside a ``job.<stage>`` trace span
+(:mod:`repro.obs.trace`) and the ``timings`` dict is a thin view over
+those spans — one clock, two presentations.  It takes an optional
+shared :class:`~repro.compact.cache.CompactionCache`, which is how the
+store's compaction memos reach every worker.
 """
 
 from __future__ import annotations
@@ -43,6 +46,7 @@ from ..lang.interpreter import Interpreter
 from ..lang.param_file import parse_parameters
 from ..layout.cif import cif_text
 from ..layout.sample import loads_sample
+from ..obs import trace as obs_trace
 
 __all__ = ["JobSpec", "JobResult", "execute_job", "fingerprint_spec"]
 
@@ -299,6 +303,16 @@ class JobResult:
         return cls(**{key: value for key, value in payload.items() if key in known})
 
 
+def _kernel_label() -> str:
+    """The active geometry-kernel name, or ``"unknown"`` when misconfigured."""
+    from ..geometry.batch import kernel_name
+
+    try:
+        return kernel_name()
+    except Exception:  # noqa: BLE001 — telemetry must never fail a job
+        return "unknown"
+
+
 def execute_job(spec: JobSpec, cache: Optional[CompactionCache] = None) -> JobResult:
     """Run the full pipeline for ``spec`` and return its result.
 
@@ -309,57 +323,70 @@ def execute_job(spec: JobSpec, cache: Optional[CompactionCache] = None) -> JobRe
     failures surface as :class:`~repro.core.errors.RsgError` subclasses
     (:class:`~repro.core.errors.VerificationError` for a layout that
     generated fine but failed its checks).
+
+    Stage timing is span-derived: when a tracer is ambient (a traced
+    worker or ``--timings``) the stages parent under it; otherwise a
+    private tracer is activated just for this call, so ``timings`` is
+    always the same span clock either way.
     """
+    if obs_trace.active() is None:
+        with obs_trace.activated(obs_trace.Tracer()):
+            return _execute_traced(spec, cache)
+    return _execute_traced(spec, cache)
+
+
+def _execute_traced(spec: JobSpec, cache: Optional[CompactionCache]) -> JobResult:
+    """The pipeline body; requires an ambient tracer (see execute_job)."""
     spec.validate()
     sample, design, bindings, cell_name = spec.resolved()
     result = JobResult()
     if spec.delay:
         time.sleep(spec.delay)
 
-    started = time.perf_counter()
-    rsg = Rsg()
-    loads_sample(sample, rsg)
-    interpreter = Interpreter(rsg)
-    interpreter.set_parameters(bindings)
-    value = interpreter.run(design)
-    if cell_name:
-        cell = rsg.cells.lookup(cell_name)
-    elif isinstance(value, CellDefinition):
-        cell = value
-    else:
-        raise ServiceError(
-            "design text did not end with mk_cell and no output_cell was given"
-        )
-    result.timings["generate"] = time.perf_counter() - started
+    with obs_trace.span("job.generate") as stage:
+        rsg = Rsg()
+        loads_sample(sample, rsg)
+        interpreter = Interpreter(rsg)
+        interpreter.set_parameters(bindings)
+        value = interpreter.run(design)
+        if cell_name:
+            cell = rsg.cells.lookup(cell_name)
+        elif isinstance(value, CellDefinition):
+            cell = value
+        else:
+            raise ServiceError(
+                "design text did not end with mk_cell and no output_cell was given"
+            )
+    result.timings["generate"] = stage.duration_s
 
     rules = _TECHS[spec.tech.upper()]
     if spec.compact:
-        started = time.perf_counter()
-        cell = _compact_stage(spec, cell, rules, cache, result)
-        result.timings["compact"] = time.perf_counter() - started
+        with obs_trace.span("job.compact", kernel=_kernel_label()) as stage:
+            cell = _compact_stage(spec, cell, rules, cache, result)
+        result.timings["compact"] = stage.duration_s
 
     plan = None
     if spec.route_text:
-        started = time.perf_counter()
-        from ..route import compose_from_netfile
+        with obs_trace.span("job.route") as stage:
+            from ..route import compose_from_netfile
 
-        cell, plan = compose_from_netfile(
-            spec.route_text, rsg.cells, name=f"{cell.name}_routed",
-            rules=rules, router=spec.router,
-        )
-        result.route_summary = plan.summary()
-        result.timings["route"] = time.perf_counter() - started
+            cell, plan = compose_from_netfile(
+                spec.route_text, rsg.cells, name=f"{cell.name}_routed",
+                rules=rules, router=spec.router,
+            )
+            result.route_summary = plan.summary()
+        result.timings["route"] = stage.duration_s
 
     if spec.verify:
-        started = time.perf_counter()
-        _verify_stage(spec, cell, plan, rules, cache, result)
-        result.timings["verify"] = time.perf_counter() - started
+        with obs_trace.span("job.verify", kernel=_kernel_label()) as stage:
+            _verify_stage(spec, cell, plan, rules, cache, result)
+        result.timings["verify"] = stage.duration_s
 
-    started = time.perf_counter()
-    result.cell_name = cell.name
-    result.instance_count = cell.count_instances(recursive=True)
-    result.cif = cif_text(cell)
-    result.timings["emit"] = time.perf_counter() - started
+    with obs_trace.span("job.emit") as stage:
+        result.cell_name = cell.name
+        result.instance_count = cell.count_instances(recursive=True)
+        result.cif = cif_text(cell)
+    result.timings["emit"] = stage.duration_s
     return result
 
 

@@ -1,0 +1,104 @@
+"""Build the service's ``/metrics`` registry from live state.
+
+One function, :func:`build_registry`, folds every scattered counter the
+service already keeps — job-state counts, the backpressure /
+quarantine / recovery / eviction counters, fleet-wide cache hits and
+misses, worker-pool supervisor counts, chaos trip counts, and the
+per-stage latency samples — into a single
+:class:`~repro.obs.metrics.MetricsRegistry`.  The server renders it as
+Prometheus text at ``GET /metrics`` and as JSON under the ``metrics``
+key of ``/stats``.
+
+Metric naming follows the Prometheus conventions: a ``repro_`` prefix,
+``_total`` suffix on counters, base units in the name
+(``repro_stage_latency_seconds``), and labels for the dimensions that
+vary (``state=``, ``stage=``, ``site=``).
+"""
+
+from typing import Any, Dict, Optional
+
+from .. import obs
+from . import chaos
+
+__all__ = ["build_registry"]
+
+_JOB_STATES = ("queued", "running", "done", "failed")
+
+
+def build_registry(
+    store: Any, pool: Optional[Any] = None
+) -> "obs.MetricsRegistry":
+    """Snapshot a :class:`~repro.service.store.Store` (and optionally a
+    :class:`~repro.service.workers.WorkerPool`) into a registry.
+
+    ``store`` provides the ledger-backed series; ``pool`` (when the
+    caller is the live daemon rather than an offline tool) adds the
+    configured/alive worker gauges and the supervisor's timeout /
+    crash / respawn counters.
+    """
+    stats: Dict[str, Any] = store.stats()
+    registry = obs.MetricsRegistry()
+
+    for state in _JOB_STATES:
+        registry.gauge(
+            "repro_jobs",
+            "Jobs in the ledger by state.",
+            labels={"state": state},
+        ).set(stats["jobs"].get(state, 0))
+    registry.gauge(
+        "repro_queue_depth", "Jobs waiting to be claimed."
+    ).set(stats["queue_depth"])
+
+    registry.counter(
+        "repro_submissions_total", "Job submissions accepted."
+    ).inc(stats["submissions"])
+    registry.counter(
+        "repro_executions_total", "Pipeline executions actually started."
+    ).inc(stats["executions"])
+    for name, help_text in (
+        ("backpressure_rejections", "Submissions rejected by backpressure."),
+        ("quarantined", "Artifact directories quarantined."),
+        ("recovery_requeued", "Jobs re-queued by crash recovery."),
+        ("evicted", "Jobs evicted by the garbage collector."),
+    ):
+        registry.counter(f"repro_{name}_total", help_text).inc(stats[name])
+
+    for name, value in stats["cache"].items():
+        if name == "hit_rate" or not str(name).startswith("cache_"):
+            continue
+        registry.counter(
+            f"repro_{name}_total", "Fleet-wide compaction-cache counter."
+        ).inc(value)
+
+    stage_histograms = registry  # per-stage latency from the raw samples
+    for stage, seconds in store.stage_samples():
+        stage_histograms.histogram(
+            "repro_stage_latency_seconds",
+            "Pipeline stage latency.",
+            labels={"stage": stage},
+        ).observe(seconds)
+
+    if pool is not None:
+        registry.gauge(
+            "repro_workers_configured", "Worker processes configured."
+        ).set(getattr(pool, "workers", 0))
+        registry.gauge(
+            "repro_workers_alive", "Worker processes currently alive."
+        ).set(pool.alive_workers())
+        for name, help_text in (
+            ("timeouts", "Jobs killed by the per-job timeout."),
+            ("crashes", "Worker processes that died mid-job."),
+            ("respawns", "Worker processes respawned by the supervisor."),
+        ):
+            registry.counter(f"repro_worker_{name}_total", help_text).inc(
+                getattr(pool, name, 0)
+            )
+
+    for site, count in sorted(chaos.trip_counts().items()):
+        registry.counter(
+            "repro_chaos_trips_total",
+            "Fault-injection trips by site.",
+            labels={"site": site},
+        ).inc(count)
+
+    return registry

@@ -3,17 +3,24 @@
 Endpoints (all JSON unless noted)::
 
     POST /jobs                   submit a job spec -> {job, state, deduplicated}
-                                 (429 + Retry-After when the queue is full)
+                                 (429 + Retry-After when the queue is full;
+                                 an X-Repro-Trace-Id header joins the
+                                 client's trace to the job's span tree)
+    POST /jobs/<fp>/trace        append the client's finished spans to a
+                                 job's trace artifact
     GET  /jobs/<fp>              job status
     GET  /jobs/<fp>/result       result.json + status (202 while pending)
     GET  /jobs/<fp>/artifact/<name>  digest-verified artifact bytes
-                                 (layout.cif, result.json; a torn artifact
-                                 quarantines and answers 404)
+                                 (layout.cif, result.json, trace.jsonl; a
+                                 torn artifact quarantines and answers 404)
     GET  /healthz                liveness + degradation (503 with reasons
                                  when workers are down or the queue is full)
     GET  /stats                  queue depth, dedup factor, cache hit rate,
                                  per-stage latencies, worker head-count,
-                                 robustness counters
+                                 robustness counters, metrics-as-JSON
+    GET  /metrics                the same registry as Prometheus text
+                                 exposition (cache, backpressure, respawn,
+                                 chaos, per-stage latency histograms)
 
 Built on ``http.server.ThreadingHTTPServer`` — no third-party
 dependencies — with the deduplication contract implemented in the
@@ -33,8 +40,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional
 
 from ..core.errors import QueueFullError, ServiceError
+from ..obs.trace import TRACE_HEADER, Span, Tracer, parse_token, service_enabled
 from . import chaos
 from .jobs import JobSpec
+from .metrics import build_registry
 from .store import Store
 from .workers import WorkerPool
 
@@ -83,19 +92,30 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(payload)
 
     def do_POST(self) -> None:  # noqa: N802 — http.server contract
-        """POST /jobs: submit a job spec (429 + Retry-After when full)."""
+        """POST routing: job submission and late client trace spans."""
         directive = chaos.fire("server.request", path=self.path)
         if directive and directive.get("drop"):
             self.close_connection = True
             return
+        parts = [part for part in self.path.split("/") if part]
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+            self._append_trace(parts[1])
+            return
         if self.path.rstrip("/") != "/jobs":
             self._send_json(404, {"error": f"no such endpoint {self.path!r}"})
             return
+        token = self.headers.get(TRACE_HEADER)
+        server_span: Optional[Span] = None
+        tracer: Optional[Tracer] = None
+        if service_enabled():
+            trace_id, parent = parse_token(token)
+            tracer = Tracer(trace_id)
+            server_span = tracer.open("server.submit", parent_id=parent)
         try:
             length = int(self.headers.get("Content-Length", "0"))
             payload = json.loads(self.rfile.read(length) or b"{}")
             spec = JobSpec.from_dict(payload)
-            submitted = self.service.store.submit(spec)
+            submitted = self.service.store.submit(spec, trace=token)
         except QueueFullError as error:
             self._send_json(
                 429,
@@ -106,6 +126,14 @@ class _Handler(BaseHTTPRequestHandler):
         except (ServiceError, ValueError) as error:
             self._send_json(400, {"error": str(error)})
             return
+        if server_span is not None and tracer is not None:
+            server_span.set(
+                state=submitted["state"], deduplicated=submitted["deduplicated"]
+            ).finish()
+            try:
+                self.service.store.record_spans(submitted["job"], [server_span])
+            except OSError:
+                pass  # telemetry must never fail a submission
         directive = chaos.fire("server.respond", path=self.path)
         if directive and directive.get("drop"):
             # the submission took effect; the lost response is what the
@@ -113,6 +141,20 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
             return
         self._send_json(200, submitted)
+
+    def _append_trace(self, fingerprint: str) -> None:
+        """POST /jobs/<fp>/trace: attach the client's finished spans."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            spans = [Span.from_dict(record) for record in payload.get("spans", [])]
+        except (ValueError, KeyError, TypeError) as error:
+            self._send_json(400, {"error": f"bad trace payload: {error}"})
+            return
+        if not self.service.store.append_trace(fingerprint, spans):
+            self._send_json(404, {"error": f"unknown job {fingerprint!r}"})
+            return
+        self._send_json(200, {"job": fingerprint, "spans": len(spans)})
 
     def do_GET(self) -> None:  # noqa: N802 — http.server contract
         """GET routing: status, result, artifacts, health, stats."""
@@ -130,7 +172,16 @@ class _Handler(BaseHTTPRequestHandler):
                 stats["timeouts"] = self.service.pool.timeouts
                 stats["crashes"] = self.service.pool.crashes
                 stats["respawns"] = self.service.pool.respawns
+                stats["metrics"] = build_registry(
+                    self.service.store, self.service.pool
+                ).to_dict()
                 self._send_json(200, stats)
+            elif parts == ["metrics"]:
+                registry = build_registry(self.service.store, self.service.pool)
+                self._send_bytes(
+                    registry.to_prometheus().encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             elif len(parts) == 2 and parts[0] == "jobs":
                 self._job_status(parts[1])
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":

@@ -5,7 +5,7 @@ a second one pointed at the same root) resumes where the last left
 off::
 
     <root>/jobs.sqlite      job/result metadata (WAL, multi-process safe)
-    <root>/artifacts/<fp>/  layout.cif + result.json per finished job
+    <root>/artifacts/<fp>/  layout.cif + result.json (+ trace.jsonl) per job
     <root>/cache/           the shared CompactionCache directory
 
 The SQLite schema is the job ledger: one row per content fingerprint
@@ -56,6 +56,8 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..compact.cache import CacheStats, CompactionCache
 from ..core.errors import QueueFullError, ServiceError
+from ..obs.render import spans_to_jsonl
+from ..obs.trace import Span, parse_token
 from . import chaos
 from .jobs import JobResult, JobSpec
 
@@ -85,11 +87,20 @@ CREATE TABLE IF NOT EXISTS counters (
     name  TEXT PRIMARY KEY,
     value INTEGER NOT NULL DEFAULT 0
 );
+CREATE TABLE IF NOT EXISTS spans (
+    fingerprint TEXT NOT NULL,
+    start_s     REAL NOT NULL,
+    span        TEXT NOT NULL
+);
 CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, submitted_at);
+CREATE INDEX IF NOT EXISTS spans_job ON spans (fingerprint, start_s);
 """
 
-#: artifact files a job may expose for download
+#: artifact files every ``done`` job must expose for download
 ARTIFACT_NAMES = ("layout.cif", "result.json")
+
+#: artifact files a job *may* additionally expose (absence is not torn)
+OPTIONAL_ARTIFACT_NAMES = ("trace.jsonl",)
 
 
 def _digest(payload: bytes) -> str:
@@ -150,6 +161,9 @@ class Store:
             }
             if "error_code" not in columns:  # pre-robustness ledger
                 connection.execute("ALTER TABLE jobs ADD COLUMN error_code INTEGER")
+            if "trace_id" not in columns:  # pre-observability ledger
+                connection.execute("ALTER TABLE jobs ADD COLUMN trace_id TEXT")
+                connection.execute("ALTER TABLE jobs ADD COLUMN trace_parent TEXT")
 
     @contextmanager
     def _connect(self) -> Iterator[sqlite3.Connection]:
@@ -171,7 +185,7 @@ class Store:
     # ------------------------------------------------------------------
     # submission and dedup
 
-    def submit(self, spec: JobSpec) -> Dict[str, Any]:
+    def submit(self, spec: JobSpec, trace: Optional[str] = None) -> Dict[str, Any]:
         """Register ``spec`` and return ``{job, state, deduplicated}``.
 
         The fingerprint is the job identity: a resubmission of known
@@ -179,6 +193,12 @@ class Store:
         whatever its state — a ``done`` job is served straight from the
         store, a ``queued``/``running`` one is joined, and a ``failed``
         one is re-queued for a fresh set of attempts.
+
+        ``trace`` is an optional ``"trace_id:span_id"`` propagation
+        token (the :data:`repro.obs.trace.TRACE_HEADER` value): it is
+        recorded on the job row whenever the submission (re)queues the
+        job, so the worker process that later claims it can root its
+        spans under the submitting client's.
 
         When ``max_queue_depth`` is set, a submission that would add a
         *new* queue entry (a fresh job or a failed-job re-queue) while
@@ -190,6 +210,7 @@ class Store:
         fingerprint = spec.fingerprint
         now = time.time()
         queue_full = False
+        trace_id, trace_parent = parse_token(trace)
         with self._connect() as connection:
             connection.execute("BEGIN IMMEDIATE")
             row = connection.execute(
@@ -201,8 +222,10 @@ class Store:
             elif row is None:
                 connection.execute(
                     "INSERT INTO jobs (fingerprint, spec, state, submissions,"
-                    " submitted_at) VALUES (?, ?, 'queued', 1, ?)",
-                    (fingerprint, json.dumps(spec.to_dict()), now),
+                    " submitted_at, trace_id, trace_parent)"
+                    " VALUES (?, ?, 'queued', 1, ?, ?, ?)",
+                    (fingerprint, json.dumps(spec.to_dict()), now,
+                     trace_id, trace_parent),
                 )
                 return {"job": fingerprint, "state": "queued", "deduplicated": False}
             elif state == "failed":
@@ -210,8 +233,9 @@ class Store:
                     "UPDATE jobs SET state = 'queued', error = NULL,"
                     " error_code = NULL, attempts = 0,"
                     " submissions = submissions + 1,"
-                    " submitted_at = ?, worker_pid = NULL WHERE fingerprint = ?",
-                    (now, fingerprint),
+                    " submitted_at = ?, worker_pid = NULL,"
+                    " trace_id = ?, trace_parent = ? WHERE fingerprint = ?",
+                    (now, trace_id, trace_parent, fingerprint),
                 )
                 return {"job": fingerprint, "state": "queued", "deduplicated": False}
             else:
@@ -266,7 +290,12 @@ class Store:
         chaos.fire("store.claim.post_commit")  # crash here: running row, dead pid
         return row["fingerprint"], JobSpec.from_dict(json.loads(row["spec"]))
 
-    def complete(self, fingerprint: str, result: JobResult) -> None:
+    def complete(
+        self,
+        fingerprint: str,
+        result: JobResult,
+        spans: Optional[List[Span]] = None,
+    ) -> None:
         """Persist ``result``'s artifacts, then mark the job ``done``.
 
         Artifact writes happen *before* the state flip, each through a
@@ -276,10 +305,19 @@ class Store:
         artifact: a later read that does not match it (out-of-band
         corruption, a torn write on a filesystem without atomic
         rename) is detected and quarantined rather than served.
+
+        ``spans`` are the worker's finished trace spans for this job;
+        together with any spans recorded earlier (the server's
+        submission spans) they become the optional ``trace.jsonl``
+        artifact, digest-verified like every other artifact but never
+        *required* — a trace-less job is complete, not torn.
         """
+        if spans:
+            self.record_spans(fingerprint, spans)
         chaos.fire("store.complete.pre_artifact")
         directory = self.artifact_dir(fingerprint)
         directory.mkdir(parents=True, exist_ok=True)
+        self._write_trace_artifact(fingerprint, directory)
         payloads = {
             "layout.cif": result.cif.encode("utf-8"),
             "result.json": (
@@ -372,6 +410,71 @@ class Store:
                     )
 
     # ------------------------------------------------------------------
+    # trace spans
+
+    def record_spans(self, fingerprint: str, spans: List[Span]) -> None:
+        """Append finished spans to a job's trace in the ledger."""
+        if not spans:
+            return
+        with self._connect() as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            connection.executemany(
+                "INSERT INTO spans (fingerprint, start_s, span) VALUES (?, ?, ?)",
+                [
+                    (fingerprint, s.start_s, json.dumps(s.to_dict(), sort_keys=True))
+                    for s in spans
+                ],
+            )
+
+    def trace_spans(self, fingerprint: str) -> List[Span]:
+        """Every recorded span of a job, oldest first."""
+        with self._connect() as connection:
+            rows = connection.execute(
+                "SELECT span FROM spans WHERE fingerprint = ?"
+                " ORDER BY start_s, rowid",
+                (fingerprint,),
+            ).fetchall()
+        return [Span.from_dict(json.loads(row["span"])) for row in rows]
+
+    def append_trace(self, fingerprint: str, spans: List[Span]) -> bool:
+        """Attach late spans (the client's side) to a finished trace.
+
+        The client's submit/wait spans only finish *after* the worker
+        completed the job, so they arrive via ``POST
+        /jobs/<fp>/trace``.  They are appended to the span ledger and,
+        when the job is already ``done``, the ``trace.jsonl`` artifact
+        (and its digest) is rewritten to include them.  Returns whether
+        the job exists.
+        """
+        status = self.status(fingerprint)
+        if status is None:
+            return False
+        self.record_spans(fingerprint, spans)
+        if status["state"] == "done":
+            directory = self.artifact_dir(fingerprint)
+            if directory.is_dir():
+                self._write_trace_artifact(fingerprint, directory)
+        return True
+
+    def _write_trace_artifact(self, fingerprint: str, directory: Path) -> None:
+        """(Re)write ``trace.jsonl`` + digest from the span ledger.
+
+        Deliberately *not* routed through the ``store.artifact.write``
+        chaos seam: the seeded fault plans count mangle calls to aim at
+        specific required-artifact writes, and the optional trace must
+        not shift their trigger windows.
+        """
+        spans = self.trace_spans(fingerprint)
+        if not spans:
+            return
+        payload = spans_to_jsonl(spans)
+        self._write_atomic(
+            directory / "trace.jsonl.sha256",
+            (_digest(payload) + "\n").encode("ascii"),
+        )
+        self._write_atomic(directory / "trace.jsonl", payload)
+
+    # ------------------------------------------------------------------
     # the client side
 
     def status(self, fingerprint: str) -> Optional[Dict[str, Any]]:
@@ -415,9 +518,10 @@ class Store:
         artifact) quarantines the whole artifact directory and returns
         ``None`` — the no-torn-artifact-is-ever-served invariant.
         """
-        if name not in ARTIFACT_NAMES:
+        if name not in ARTIFACT_NAMES + OPTIONAL_ARTIFACT_NAMES:
+            available = ", ".join(ARTIFACT_NAMES + OPTIONAL_ARTIFACT_NAMES)
             raise ServiceError(
-                f"unknown artifact {name!r} (available: {', '.join(ARTIFACT_NAMES)})"
+                f"unknown artifact {name!r} (available: {available})"
             )
         directory = self.artifact_dir(fingerprint)
         try:
@@ -519,12 +623,19 @@ class Store:
         return report
 
     def _artifacts_intact(self, fingerprint: str) -> bool:
-        """Whether every artifact of a ``done`` job matches its digest."""
+        """Whether every artifact of a ``done`` job matches its digest.
+
+        Required artifacts must exist and match; optional artifacts
+        (the trace) may be absent, but when present must match — a torn
+        trace quarantines the job like any other torn artifact.
+        """
         directory = self.artifact_dir(fingerprint)
-        for name in ARTIFACT_NAMES:
+        for name in ARTIFACT_NAMES + OPTIONAL_ARTIFACT_NAMES:
             try:
                 payload = (directory / name).read_bytes()
             except OSError:
+                if name in OPTIONAL_ARTIFACT_NAMES:
+                    continue  # optional artifact: absence is fine
                 return False
             try:
                 expected = (directory / f"{name}.sha256").read_text("ascii").strip()
@@ -599,6 +710,9 @@ class Store:
                     connection.execute(
                         "DELETE FROM timings WHERE fingerprint = ?", (fingerprint,)
                     )
+                    connection.execute(
+                        "DELETE FROM spans WHERE fingerprint = ?", (fingerprint,)
+                    )
             self.bump("evicted", len(evicted))
         return report
 
@@ -634,6 +748,18 @@ class Store:
             status.pop("spec", None)
             result.append(status)
         return result
+
+    def stage_samples(self) -> List[Tuple[str, float]]:
+        """Every per-stage latency sample as ``(stage, seconds)`` rows.
+
+        This is the raw feed for the ``/metrics`` per-stage latency
+        histograms — ``stats()`` only carries the mean/max digest.
+        """
+        with self._connect() as connection:
+            rows = connection.execute(
+                "SELECT stage, seconds FROM timings ORDER BY rowid"
+            ).fetchall()
+        return [(row["stage"], row["seconds"]) for row in rows]
 
     def queue_depth(self) -> int:
         """Number of jobs waiting to be claimed."""

@@ -31,11 +31,48 @@ import time
 from typing import Dict, List, Optional
 
 from ..core.errors import RsgError
+from ..obs.trace import Span, Tracer, activated, service_enabled
 from . import chaos
 from .jobs import execute_job
 from .store import Store
 
 __all__ = ["WorkerPool", "worker_loop"]
+
+
+def _job_tracer(store: Store, fingerprint: str) -> Optional[Tracer]:
+    """A tracer continuing the job's trace, or ``None`` when disabled.
+
+    The trace id and parent span id travel in the job row (written at
+    submission time from the ``X-Repro-Trace-Id`` header), which is how
+    the trace crosses the HTTP-then-process boundary into this worker.
+    """
+    if not service_enabled():
+        return None
+    try:
+        status = store.status(fingerprint) or {}
+    except OSError:
+        status = {}
+    tracer = Tracer(status.get("trace_id") or None)
+    tracer.job_parent = status.get("trace_parent") or None  # type: ignore[attr-defined]
+    return tracer
+
+
+def _claim_span(
+    tracer: Tracer, parent_id: str, start_wall: float, seconds: float
+) -> Span:
+    """Synthesize the ``store.claim`` span from its measured timing.
+
+    The claim necessarily happens *before* the worker can read the
+    job's trace token, so its span is reconstructed afterwards from the
+    wall-clock start and monotonic duration measured around the call.
+    """
+    return Span(
+        name="store.claim",
+        trace_id=tracer.trace_id,
+        parent_id=parent_id,
+        start_s=start_wall,
+        duration_s=seconds,
+    )
 
 
 def worker_loop(root: str, stop_event, poll_interval: float = 0.05) -> None:
@@ -58,35 +95,59 @@ def worker_loop(root: str, stop_event, poll_interval: float = 0.05) -> None:
     cache = store.compaction_cache()
     pid = os.getpid()
     while not stop_event.is_set():
+        claim_wall = time.time()
+        claim_t0 = time.perf_counter()
         try:
             claim = store.claim(pid)
         except OSError:
             time.sleep(poll_interval)  # transient store I/O: back off, retry
             continue
+        claim_seconds = time.perf_counter() - claim_t0
         if claim is None:
             time.sleep(poll_interval)
             continue
         fingerprint, spec = claim
         chaos.fire("worker.claimed")
         before = copy.copy(cache.cache_stats)
+        tracer = _job_tracer(store, fingerprint)
         try:
-            result = execute_job(spec, cache=cache)
+            if tracer is not None:
+                with activated(tracer):
+                    with tracer.span(
+                        "worker.execute",
+                        parent_id=tracer.job_parent,
+                        worker_pid=pid,
+                    ) as root:
+                        tracer.add(
+                            _claim_span(
+                                tracer, root.span_id, claim_wall, claim_seconds
+                            )
+                        )
+                        result = execute_job(spec, cache=cache)
+            else:
+                result = execute_job(spec, cache=cache)
         except RsgError as error:
             store.fail(
                 fingerprint,
                 f"{type(error).__name__}: {error}",
                 code=exit_code_for(error),
             )
+            _record_failure_spans(store, fingerprint, tracer)
         except Exception as error:  # noqa: BLE001 — a worker must not die on a job
             store.fail(
                 fingerprint,
                 f"internal error: {type(error).__name__}: {error}",
                 code=exit_code_for(error),
             )
+            _record_failure_spans(store, fingerprint, tracer)
         else:
             chaos.fire("worker.pre_complete")
             try:
-                store.complete(fingerprint, result)
+                store.complete(
+                    fingerprint,
+                    result,
+                    spans=tracer.drain() if tracer is not None else None,
+                )
             except OSError as error:
                 store.fail(
                     fingerprint,
@@ -94,6 +155,18 @@ def worker_loop(root: str, stop_event, poll_interval: float = 0.05) -> None:
                     code=exit_code_for(error),
                 )
         store.record_cache_stats(cache.cache_stats.diff(before))
+
+
+def _record_failure_spans(
+    store: Store, fingerprint: str, tracer: Optional[Tracer]
+) -> None:
+    """Keep a failed job's spans in the ledger for post-mortems."""
+    if tracer is None:
+        return
+    try:
+        store.record_spans(fingerprint, tracer.drain())
+    except OSError:
+        pass  # telemetry must never mask the recorded failure
 
 
 class WorkerPool:

@@ -27,6 +27,7 @@ from typing import List, Optional
 from ..compact.cache import CompactionCache
 from ..compact.rules import DesignRules
 from ..core.cell import CellDefinition
+from ..obs import trace as obs_trace
 from .extract import extract_netlist
 from .hier import extract_netlist_hier
 from .lvs import LvsReport, compare_netlists
@@ -119,9 +120,13 @@ def _extract(
     hier: bool,
     cache: Optional[CompactionCache],
 ) -> SwitchNetlist:
-    if hier:
-        return extract_netlist_hier(cell, rules, cache=cache)
-    return extract_netlist(cell, rules)
+    with obs_trace.span("verify.extract", hier=hier) as extract_span:
+        if hier:
+            netlist = extract_netlist_hier(cell, rules, cache=cache)
+        else:
+            netlist = extract_netlist(cell, rules)
+        extract_span.set(nets=len(netlist.net_names), devices=len(netlist.devices))
+    return netlist
 
 
 def pla_layout_netlist(

@@ -1,5 +1,7 @@
 """Tests for the command-line driver (the Figure 1.1 flow)."""
 
+import re
+
 import pytest
 
 from repro.cli import main, run_flow
@@ -625,3 +627,81 @@ class TestTimingsFlag:
         table = timings_table({"generate": 0.1, "lint": 0.2})
         stages = [line.split()[0] for line in table.splitlines()]
         assert stages == ["stage", "generate", "lint", "total"]
+
+    def test_timings_table_appends_extras_after_total(self):
+        from repro.cli import timings_table
+
+        table = timings_table({"generate": 0.1}, extras=("solver x: 1 solve(s)",))
+        lines = table.splitlines()
+        assert lines[-2].split()[0] == "total"
+        assert lines[-1] == "solver x: 1 solve(s)"
+
+    def _parse_table(self, out):
+        """The printed table as (ordered stage->seconds dict, total)."""
+        lines = out.splitlines()
+        header = next(
+            i for i, line in enumerate(lines) if line.split() == ["stage", "seconds"]
+        )
+        stages = {}
+        total = None
+        for line in lines[header + 1:]:
+            parts = line.split()
+            if len(parts) != 2:
+                break
+            if parts[0] == "total":
+                total = float(parts[1])
+                break
+            stages[parts[0]] = float(parts[1])
+        return stages, total
+
+    def test_every_executed_stage_is_listed_and_sums_to_total(
+        self, flow_files, capsys
+    ):
+        parameter, _ = flow_files
+        assert main([str(parameter), "--compact", "x", "--verify", "lvs",
+                     "--timings"]) == 0
+        stages, total = self._parse_table(capsys.readouterr().out)
+        assert list(stages) == ["generate", "compact", "verify", "emit"]
+        # Each printed row rounds to 3 decimals, so the reconstructed
+        # sum can drift from the printed total by 0.5 ms per stage.
+        assert total == pytest.approx(sum(stages.values()), abs=0.005)
+
+    def test_solver_summary_rides_along_when_compacting(self, flow_files, capsys):
+        parameter, _ = flow_files
+        assert main([str(parameter), "--compact", "x", "--timings"]) == 0
+        out = capsys.readouterr().out
+        summary = [line for line in out.splitlines() if line.startswith("solver ")]
+        assert summary, out
+        assert re.search(
+            r"solver bellman-ford: \d+ solve\(s\), \d+ pass\(es\),"
+            r" \d+ relaxation\(s\) in \d+\.\d{3}s",
+            summary[0],
+        )
+
+    @staticmethod
+    def _masked(out):
+        return re.sub(r"\d+(\.\d+)?", "N", out)
+
+    def test_structure_is_stable_under_trace_env(
+        self, flow_files, capsys, monkeypatch
+    ):
+        """REPRO_TRACE only decides *whether* spans are kept — it must
+        not change what the CLI prints, with or without --timings."""
+        parameter, _ = flow_files
+        shapes = {}
+        for value in ("0", "1"):
+            monkeypatch.setenv("REPRO_TRACE", value)
+            assert main([str(parameter), "--compact", "x", "--timings"]) == 0
+            shapes[value] = self._masked(capsys.readouterr().out)
+        assert shapes["0"] == shapes["1"]
+
+    def test_plain_output_identical_under_trace_env(
+        self, flow_files, capsys, monkeypatch
+    ):
+        parameter, _ = flow_files
+        outputs = {}
+        for value in ("0", "1"):
+            monkeypatch.setenv("REPRO_TRACE", value)
+            assert main([str(parameter)]) == 0
+            outputs[value] = capsys.readouterr().out
+        assert outputs["0"] == outputs["1"]

@@ -2,7 +2,8 @@
 
 ``make docs-check`` runs exactly this module.  Every public module under
 ``repro.compact`` (including the solver backends), ``repro.route``,
-``repro.verify`` and ``repro.service`` must carry a module docstring, and every public class and function they
+``repro.verify``, ``repro.service`` and ``repro.obs`` must carry a
+module docstring, and every public class and function they
 define must be documented — both subsystems are walked through in the
 architecture docs, so an undocumented entry point is a docs regression.
 """
@@ -14,6 +15,7 @@ import pkgutil
 import pytest
 
 import repro.compact
+import repro.obs
 import repro.route
 import repro.service
 import repro.verify
@@ -22,7 +24,13 @@ import repro.verify
 def _public_modules():
     """Import every non-underscore module under the documented packages."""
     modules = []
-    for package in (repro.compact, repro.route, repro.service, repro.verify):
+    for package in (
+        repro.compact,
+        repro.obs,
+        repro.route,
+        repro.service,
+        repro.verify,
+    ):
         modules.append(package)
         for info in pkgutil.walk_packages(
             package.__path__, prefix=package.__name__ + "."
